@@ -1,0 +1,17 @@
+# Common developer targets.
+
+.PHONY: install test bench examples lint all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null || exit 1; done; echo "all examples OK"
+
+all: test bench

@@ -1,0 +1,5 @@
+"""Setup shim for environments without the `wheel` package (offline PEP 660
+builds fail there); `pip install -e .` falls back to this legacy path."""
+from setuptools import setup
+
+setup()

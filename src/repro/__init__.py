@@ -1,0 +1,134 @@
+"""repro — Parallel Progressive Entity Resolution using MapReduce.
+
+A full reproduction of Altowim & Mehrotra, *"Parallel Progressive Approach
+to Entity Resolution Using MapReduce"* (ICDE 2017): the two-job progressive
+ER pipeline, its duplicate/cost estimation and schedule generation,
+redundancy-free resolution, the Basic/NoSplit/LPT baselines, and a
+deterministic MapReduce simulator with virtual-time cost accounting.
+
+Quick start::
+
+    from repro import make_citeseer, citeseer_config, ProgressiveER, make_cluster
+    from repro import recall_curve
+
+    dataset = make_citeseer(4000, seed=7)
+    result = ProgressiveER(citeseer_config(), make_cluster(10)).run(dataset)
+    curve = recall_curve(result.duplicate_events, dataset,
+                         end_time=result.total_time)
+    print(curve.final_recall, curve.recall_at(result.total_time / 4))
+"""
+
+from .baselines import BasicConfig, BasicER, BasicResult, run_lpt, run_nosplit, run_ours
+from .blocking import (
+    Block,
+    BlockingFunction,
+    BlockingScheme,
+    Forest,
+    books_scheme,
+    build_forests,
+    citeseer_scheme,
+    prefix_function,
+)
+from .core import (
+    ApproachConfig,
+    LevelPolicy,
+    ProgressiveER,
+    ProgressiveResult,
+    ProgressiveSchedule,
+    books_config,
+    citeseer_config,
+    generate_schedule,
+)
+from .data import (
+    Dataset,
+    Entity,
+    make_books,
+    make_citeseer,
+    pair_key,
+    pairs_count,
+)
+from .evaluation import (
+    CurveRun,
+    RecallCurve,
+    make_cluster,
+    quality,
+    recall_curve,
+    recall_speedup,
+    run_basic,
+    run_progressive,
+    transitive_closure,
+)
+from .mapreduce import Cluster, CostModel, MapReduceJob
+from .mechanisms import PSNM, FullResolution, PopcornCondition, SortedNeighborHint
+from .similarity import (
+    AttributeRule,
+    WeightedMatcher,
+    books_matcher,
+    citeseer_matcher,
+    edit_similarity,
+    levenshtein,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data
+    "Entity",
+    "Dataset",
+    "make_citeseer",
+    "make_books",
+    "pair_key",
+    "pairs_count",
+    # similarity
+    "levenshtein",
+    "edit_similarity",
+    "AttributeRule",
+    "WeightedMatcher",
+    "citeseer_matcher",
+    "books_matcher",
+    # blocking
+    "Block",
+    "Forest",
+    "BlockingFunction",
+    "BlockingScheme",
+    "prefix_function",
+    "citeseer_scheme",
+    "books_scheme",
+    "build_forests",
+    # mechanisms
+    "SortedNeighborHint",
+    "PSNM",
+    "FullResolution",
+    "PopcornCondition",
+    # mapreduce
+    "Cluster",
+    "CostModel",
+    "MapReduceJob",
+    # core
+    "ApproachConfig",
+    "LevelPolicy",
+    "citeseer_config",
+    "books_config",
+    "ProgressiveER",
+    "ProgressiveResult",
+    "ProgressiveSchedule",
+    "generate_schedule",
+    # baselines
+    "BasicConfig",
+    "BasicER",
+    "BasicResult",
+    "run_ours",
+    "run_nosplit",
+    "run_lpt",
+    # evaluation
+    "CurveRun",
+    "RecallCurve",
+    "recall_curve",
+    "quality",
+    "recall_speedup",
+    "make_cluster",
+    "run_progressive",
+    "run_basic",
+    "transitive_closure",
+]

@@ -1,0 +1,18 @@
+"""Baselines: the Basic single-job approach and the NoSplit/LPT tree
+schedulers the paper compares against."""
+
+from .basic import BasicConfig, BasicER, BasicResult
+from .mrsn import MrsnConfig, MrsnResult, MultiPassMRSN
+from .schedulers import run_lpt, run_nosplit, run_ours
+
+__all__ = [
+    "BasicConfig",
+    "BasicER",
+    "BasicResult",
+    "MrsnConfig",
+    "MultiPassMRSN",
+    "MrsnResult",
+    "run_ours",
+    "run_nosplit",
+    "run_lpt",
+]

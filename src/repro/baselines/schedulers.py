@@ -1,0 +1,42 @@
+"""Alternative tree schedulers (paper Section VI-B2).
+
+Both baselines share our block schedules (utility order per task) and the
+whole two-job pipeline; they differ only in the tree schedule:
+
+* **NoSplit** — our partitioning without the tree-split mechanism, so an
+  overflowed high-duplicate tree monopolizes a single reduce task.
+* **LPT** — Longest Processing Time [Pinedo]: balances *total* cost across
+  tasks, the classic traditional-ER objective, with no regard for when the
+  duplicates arrive.
+"""
+
+from __future__ import annotations
+
+from ..data.dataset import Dataset
+from ..mapreduce.engine import Cluster
+from ..core.config import ApproachConfig
+from ..core.driver import ProgressiveER, ProgressiveResult
+
+
+def run_ours(
+    config: ApproachConfig, cluster: Cluster, dataset: Dataset, *, seed: int = 0
+) -> ProgressiveResult:
+    """Our full approach (split + slack partitioning)."""
+    return ProgressiveER(config, cluster, strategy="ours", seed=seed).run(dataset)
+
+
+def run_nosplit(
+    config: ApproachConfig, cluster: Cluster, dataset: Dataset, *, seed: int = 0
+) -> ProgressiveResult:
+    """NoSplit: our tree scheduling without the split mechanism."""
+    return ProgressiveER(config, cluster, strategy="nosplit", seed=seed).run(dataset)
+
+
+def run_lpt(
+    config: ApproachConfig, cluster: Cluster, dataset: Dataset, *, seed: int = 0
+) -> ProgressiveResult:
+    """LPT: load-balance total tree cost across the reduce tasks."""
+    return ProgressiveER(config, cluster, strategy="lpt", seed=seed).run(dataset)
+
+
+__all__ = ["run_ours", "run_nosplit", "run_lpt"]

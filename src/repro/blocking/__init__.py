@@ -1,0 +1,29 @@
+"""Blocking: functions, schemes, blocks, trees, forests, and the
+progressive blocker (paper Sections II-A and III-A)."""
+
+from .blocker import build_forest, build_forests, group_by_key, main_block_key_of
+from .blocks import Block, Forest, tree_of
+from .functions import (
+    BlockingFunction,
+    BlockingScheme,
+    books_scheme,
+    citeseer_scheme,
+    people_scheme,
+    prefix_function,
+)
+
+__all__ = [
+    "Block",
+    "Forest",
+    "tree_of",
+    "BlockingFunction",
+    "BlockingScheme",
+    "prefix_function",
+    "citeseer_scheme",
+    "books_scheme",
+    "people_scheme",
+    "group_by_key",
+    "build_forest",
+    "build_forests",
+    "main_block_key_of",
+]

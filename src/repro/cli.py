@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+* ``generate`` — write a synthetic dataset (with ground truth) to CSV;
+* ``run`` — resolve a dataset with one approach and print its recall curve;
+* ``compare`` — our approach versus the Basic baseline side by side.
+
+Examples::
+
+    python -m repro generate --family citeseer --size 2000 --out ds.csv
+    python -m repro run --dataset ds.csv --family citeseer --machines 10
+    python -m repro run --family books --size 3000 --approach lpt
+    python -m repro compare --family citeseer --size 1500 --threshold 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .baselines import BasicConfig
+from .blocking import books_scheme, citeseer_scheme, people_scheme
+from .core import books_config, citeseer_config, people_config
+from .data import Dataset, make_books, make_citeseer, make_people
+from .data.profile import format_profile, profile_dataset, suggest_blocking_order
+from .evaluation import (
+    format_curves,
+    format_final_summary,
+    run_basic,
+    run_progressive,
+    sample_times,
+)
+from .evaluation.charts import ascii_chart
+from .mechanisms import PSNM, SortedNeighborHint
+
+_FAMILIES = ("citeseer", "books", "people")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel progressive entity resolution (ICDE'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    gen.add_argument("--family", choices=_FAMILIES, default="citeseer")
+    gen.add_argument("--size", type=int, default=2000)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True, help="output CSV path")
+
+    run = sub.add_parser("run", help="resolve a dataset progressively")
+    _add_dataset_options(run)
+    run.add_argument(
+        "--approach",
+        choices=("ours", "nosplit", "lpt", "basic"),
+        default="ours",
+    )
+    run.add_argument("--machines", type=int, default=10)
+    run.add_argument("--window", type=int, default=15, help="Basic's SN window")
+    run.add_argument(
+        "--threshold", type=float, default=None, help="Basic's popcorn threshold"
+    )
+    run.add_argument("--points", type=int, default=10, help="curve sample points")
+
+    compare = sub.add_parser("compare", help="ours vs the Basic baseline")
+    _add_dataset_options(compare)
+    compare.add_argument("--machines", type=int, default=10)
+    compare.add_argument("--window", type=int, default=15)
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        action="append",
+        dest="thresholds",
+        help="popcorn threshold (repeatable); Basic F always included",
+    )
+    compare.add_argument("--points", type=int, default=10)
+    compare.add_argument("--chart", action="store_true", help="ASCII chart output")
+
+    profile = sub.add_parser(
+        "profile", help="profile a dataset's attributes and blocking keys"
+    )
+    _add_dataset_options(profile)
+    return parser
+
+
+def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", choices=_FAMILIES, default="citeseer")
+    parser.add_argument("--size", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--dataset", default=None, help="CSV written by `generate`")
+
+
+_MAKERS = {"citeseer": make_citeseer, "books": make_books, "people": make_people}
+_CONFIGS = {"citeseer": citeseer_config, "books": books_config, "people": people_config}
+_SCHEMES = {"citeseer": citeseer_scheme, "books": books_scheme, "people": people_scheme}
+
+
+def _load_dataset(args: argparse.Namespace) -> Dataset:
+    if args.dataset is not None:
+        return Dataset.from_csv(args.dataset, name=args.family)
+    return _MAKERS[args.family](args.size, seed=args.seed)
+
+
+def _progressive_config(family: str):
+    return _CONFIGS[family]()
+
+
+def _basic_config(family: str, window: int, threshold: Optional[float]) -> BasicConfig:
+    config = _CONFIGS[family]()
+    mechanism = SortedNeighborHint() if family == "citeseer" else PSNM()
+    return BasicConfig(
+        scheme=_SCHEMES[family](),
+        matcher=config.matcher,
+        mechanism=mechanism,
+        window=window,
+        popcorn_threshold=threshold,
+    )
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    dataset = _MAKERS[args.family](args.size, seed=args.seed)
+    dataset.to_csv(args.out)
+    print(
+        f"wrote {len(dataset)} {args.family} entities "
+        f"({dataset.num_true_pairs} duplicate pairs) to {args.out}"
+    )
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    if args.approach == "basic":
+        config = _basic_config(args.family, args.window, args.threshold)
+        run = run_basic(dataset, config, args.machines)
+    else:
+        run = run_progressive(
+            dataset,
+            _progressive_config(args.family),
+            args.machines,
+            strategy=args.approach,
+        )
+    times = sample_times(run.total_time, points=args.points)
+    print(format_curves([run], times, title=f"{run.label} on {dataset.name}"))
+    print()
+    print(format_final_summary([run]))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    runs = [
+        run_progressive(
+            dataset, _progressive_config(args.family), args.machines, label="ours"
+        )
+    ]
+    thresholds: List[Optional[float]] = [None] + list(args.thresholds or [])
+    for threshold in thresholds:
+        config = _basic_config(args.family, args.window, threshold)
+        runs.append(run_basic(dataset, config, args.machines))
+    horizon = runs[0].total_time
+    if args.chart:
+        print(ascii_chart(runs, horizon=horizon, title=f"recall vs time — {dataset.name}"))
+    else:
+        print(
+            format_curves(
+                runs, sample_times(horizon, points=args.points),
+                title=f"recall vs time — {dataset.name}",
+            )
+        )
+    print()
+    print(format_final_summary(runs))
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    profile = profile_dataset(dataset)
+    print(format_profile(profile))
+    order = suggest_blocking_order(profile)
+    if order:
+        print()
+        print("suggested dominance order: " + " > ".join(order))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _command_generate(args)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "profile":
+        return _command_profile(args)
+    return _command_compare(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["main"]

@@ -1,0 +1,77 @@
+"""The paper's contribution: progressive blocking statistics, duplicate and
+cost estimation, schedule generation, redundancy-free resolution, and the
+two-job MapReduce driver."""
+
+from .config import (
+    ApproachConfig,
+    LevelPolicy,
+    books_config,
+    citeseer_config,
+    exponential_weights,
+    linear_weights,
+    make_budget_weighting,
+    people_config,
+)
+from .driver import ProgressiveER, ProgressiveResult
+from .estimation import (
+    BlockEstimate,
+    DuplicateEstimator,
+    EstimationModel,
+    LearnedEstimator,
+    OracleEstimator,
+    UniformEstimator,
+)
+from .redundancy import build_dominance_list, missing_sentinel, should_resolve
+from .responsibility import compute_coverage, covered_pairs, uncovered_pairs
+from .schedule import ProgressiveSchedule, generate_schedule
+from .serialize import (
+    load_events,
+    load_schedule,
+    save_events,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .statistics import (
+    AnnotatedEntity,
+    BlockRecord,
+    DatasetStatistics,
+    run_statistics_job,
+)
+
+__all__ = [
+    "ApproachConfig",
+    "LevelPolicy",
+    "citeseer_config",
+    "books_config",
+    "people_config",
+    "linear_weights",
+    "exponential_weights",
+    "make_budget_weighting",
+    "ProgressiveER",
+    "ProgressiveResult",
+    "BlockEstimate",
+    "DuplicateEstimator",
+    "EstimationModel",
+    "LearnedEstimator",
+    "OracleEstimator",
+    "UniformEstimator",
+    "build_dominance_list",
+    "missing_sentinel",
+    "should_resolve",
+    "compute_coverage",
+    "covered_pairs",
+    "uncovered_pairs",
+    "ProgressiveSchedule",
+    "generate_schedule",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "save_events",
+    "load_events",
+    "AnnotatedEntity",
+    "BlockRecord",
+    "DatasetStatistics",
+    "run_statistics_job",
+]

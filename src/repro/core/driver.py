@@ -1,0 +1,490 @@
+"""The two-job progressive ER pipeline (paper Section III).
+
+Job 1 (:mod:`repro.core.statistics`) annotates the dataset and gathers the
+block statistics.  This module implements Job 2 and the end-to-end driver:
+
+* the **map side** regenerates the progressive schedule in its setup (the
+  cost is charged per map task, exactly the overhead visible in Figures 10
+  and 11), then routes each annotated entity once per tree containing it
+  (footnote 5's one-emission-per-tree implementation), attaching the
+  dominance list of Section V;
+* the **partition function** routes trees to their scheduled reduce tasks;
+* the **reduce side** buffers its trees, re-derives block memberships
+  locally, and resolves its blocks in the block-schedule order with the
+  configured mechanism M — aggressively (distinct budget ``Th``) for
+  non-roots, fully for roots — skipping pairs another block is responsible
+  for (``SHOULD-RESOLVE``) and pairs already resolved inside the same tree,
+  while flushing discovered duplicates incrementally every α cost units.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..blocking.functions import BlockingScheme
+from ..data.dataset import Dataset
+from ..data.entity import Entity, Pair, pair_key
+from ..mapreduce.engine import Cluster
+from ..mapreduce.job import MapReduceJob, Mapper, Partitioner, Reducer, TaskContext
+from ..mapreduce.types import Event, JobResult
+from ..mechanisms.base import DistinctBudget, block_sort_key, resolve_block
+from .config import ApproachConfig
+from .estimation import (
+    DuplicateEstimator,
+    EstimationModel,
+    LearnedEstimator,
+    OracleEstimator,
+    UniformEstimator,
+)
+from .redundancy import build_dominance_list, should_resolve
+from .schedule import ProgressiveSchedule, generate_schedule
+from .statistics import AnnotatedEntity, DatasetStatistics, run_statistics_job
+
+#: Value type shipped to the reduce side: (entity, dominance list).
+RoutedEntity = Tuple[Entity, Tuple[int, ...]]
+
+
+class ResolutionMapper(Mapper):
+    """Job-2 mapper: route each entity once per tree containing it."""
+
+    def __init__(self, schedule: ProgressiveSchedule, scheme: BlockingScheme) -> None:
+        self._schedule = schedule
+        self._scheme = scheme
+
+    def setup(self, context: TaskContext) -> None:
+        """Charge the progressive-schedule generation performed in the map
+        setup (Section III-B) — the constant overhead of our approach."""
+        context.charge(self._schedule.generation_cost)
+
+    def map(self, record: AnnotatedEntity, context: TaskContext) -> None:
+        entity, main_keys = record
+        schedule = self._schedule
+        scheme = self._scheme
+        n = scheme.num_families
+
+        # Per family: the dominance value of the entity's *main* tree.
+        family_doms: List[Optional[int]] = []
+        for family in scheme.family_order:
+            key = main_keys.get(family)
+            uid = schedule.main_tree.get((family, key)) if key is not None else None
+            family_doms.append(schedule.dominance[uid] if uid is not None else None)
+
+        for index, family in enumerate(scheme.family_order, start=1):
+            key = main_keys.get(family)
+            if key is None:
+                continue
+            chain = self._tree_chain(entity, family, key)
+            for position, tree_uid in enumerate(chain):
+                next_uid = chain[position + 1] if position + 1 < len(chain) else None
+                dom_list = build_dominance_list(
+                    entity_id=entity.id,
+                    own_index=index,
+                    num_families=n,
+                    family_trees=family_doms,
+                    emitted_tree=schedule.dominance[tree_uid],
+                    split_descendant=(
+                        schedule.dominance[next_uid] if next_uid is not None else None
+                    ),
+                )
+                context.emit(tree_uid, (entity, tuple(dom_list)))
+
+    def _tree_chain(self, entity: Entity, family: str, main_key: str) -> List[str]:
+        """Trees of ``family`` containing the entity, outermost first:
+        the main tree, then every split-off sub-tree, by level."""
+        chain: List[str] = []
+        main_uid = self._schedule.main_tree.get((family, main_key))
+        if main_uid is not None:
+            chain.append(main_uid)
+        functions = self._scheme.families[family]
+        for level, key, uid in self._schedule.split_roots.get(family, ()):  # by level
+            if functions[level - 1].key_of(entity) == key:
+                chain.append(uid)
+        return chain
+
+
+class SchedulePartitioner(Partitioner):
+    """Route each tree to the reduce task the tree schedule assigned."""
+
+    def __init__(self, schedule: ProgressiveSchedule) -> None:
+        self._schedule = schedule
+
+    def partition(self, key: str, num_reduce_tasks: int) -> int:
+        return self._schedule.assignment[key]
+
+
+class ResolutionReducer(Reducer):
+    """Job-2 reducer: buffer the task's trees, then resolve its blocks in
+    block-schedule order (the shuffle delivers all groups before reduce
+    work can begin in Hadoop, so buffering adds no delay)."""
+
+    def __init__(self, schedule: ProgressiveSchedule, config: ApproachConfig) -> None:
+        self._schedule = schedule
+        self._config = config
+        self._buffered: Dict[str, List[RoutedEntity]] = {}
+
+    def reduce(
+        self, key: str, values: Sequence[RoutedEntity], context: TaskContext
+    ) -> None:
+        context.charge(context.cost_model.read_record * len(values))
+        self._buffered[key] = list(values)
+
+    def cleanup(self, context: TaskContext) -> None:
+        members = self._derive_memberships(context)
+        order = self._schedule.block_order[context.task_id]
+        resolved_in_tree: Dict[str, Set[Pair]] = {}
+        for block_uid in order:
+            if block_uid not in members:
+                continue  # tree produced no routed entities (fully pruned)
+            self._resolve_one_block(block_uid, members[block_uid], resolved_in_tree, context)
+
+    # ------------------------------------------------------------------
+
+    def _derive_memberships(
+        self, context: TaskContext
+    ) -> Dict[str, List[RoutedEntity]]:
+        """Re-derive each scheduled block's members from the buffered trees
+        (footnote 5: sub-block membership is recomputed reduce-side)."""
+        members: Dict[str, List[RoutedEntity]] = {}
+        for tree_uid, routed in self._buffered.items():
+            root = self._schedule.trees[tree_uid]
+            functions = {
+                f.level: f for f in self._config.scheme.families[root.family]
+            }
+            members[root.uid] = routed
+            stack = [root]
+            while stack:
+                block = stack.pop()
+                parent_members = members[block.uid]
+                for child in block.children:
+                    function = functions[child.level]
+                    context.charge(
+                        context.cost_model.stat_record * len(parent_members)
+                    )
+                    members[child.uid] = [
+                        rv
+                        for rv in parent_members
+                        if function.key_of(rv[0]) == child.key
+                    ]
+                    stack.append(child)
+        return members
+
+    def _resolve_one_block(
+        self,
+        block_uid: str,
+        routed: List[RoutedEntity],
+        resolved_in_tree: Dict[str, Set[Pair]],
+        context: TaskContext,
+    ) -> None:
+        """Resolve one block with mechanism M under the schedule's policy."""
+        resolve_scheduled_block(
+            self._schedule, self._config, block_uid, routed, resolved_in_tree, context
+        )
+
+
+def resolve_scheduled_block(
+    schedule: ProgressiveSchedule,
+    config: ApproachConfig,
+    block_uid: str,
+    routed: List[RoutedEntity],
+    resolved_in_tree: Dict[str, Set[Pair]],
+    context: TaskContext,
+) -> None:
+    """Resolve one scheduled block (shared by both routing modes):
+    mechanism M, window/Th from the schedule, SHOULD-RESOLVE veto, and
+    per-tree skip of pairs already resolved in descendants."""
+    if len(routed) < 2:
+        return
+    block = schedule.blocks[block_uid]
+    estimate = schedule.estimates[block_uid]
+    tree_uid = schedule.tree_of_block[block_uid]
+    tree_resolved = resolved_in_tree.setdefault(tree_uid, set())
+
+    entities = [entity for entity, _ in routed]
+    dom_lists = {entity.id: dom_list for entity, dom_list in routed}
+    index = config.scheme.index_of(block.family)
+    n = config.scheme.num_families
+    sort_attribute = config.sort_attribute(block.family)
+
+    def ok_to_resolve(e1: Entity, e2: Entity) -> bool:
+        if pair_key(e1.id, e2.id) in tree_resolved:
+            return False
+        if not config.redundancy_free:
+            return True
+        return should_resolve(dom_lists[e1.id], dom_lists[e2.id], index, n)
+
+    def on_resolved(e1: Entity, e2: Entity, is_dup: bool) -> None:
+        tree_resolved.add(pair_key(e1.id, e2.id))
+
+    def on_duplicate(e1: Entity, e2: Entity) -> None:
+        pair = pair_key(e1.id, e2.id)
+        context.record_event("duplicate", pair)
+        context.write(pair)
+
+    stop = None if estimate.full else DistinctBudget(estimate.th)
+    resolve_block(
+        entities,
+        config.mechanism,
+        window=estimate.window,
+        sort_key=lambda e: block_sort_key(e, sort_attribute),
+        matcher=config.matcher,
+        cost_model=context.cost_model,
+        charge=context.charge,
+        on_duplicate=on_duplicate,
+        should_resolve=ok_to_resolve,
+        stop=stop,
+        on_resolved=on_resolved,
+    )
+
+
+class BlockRoutingMapper(ResolutionMapper):
+    """The naive Job-2 mapper (Section III-B before footnote 5): one
+    key-value pair per *block* containing the entity, keyed by the block's
+    sequence value ``SQ``."""
+
+    def map(self, record: AnnotatedEntity, context: TaskContext) -> None:
+        entity, main_keys = record
+        schedule = self._schedule
+        scheme = self._scheme
+        n = scheme.num_families
+
+        family_doms: List[Optional[int]] = []
+        for family in scheme.family_order:
+            key = main_keys.get(family)
+            uid = schedule.main_tree.get((family, key)) if key is not None else None
+            family_doms.append(schedule.dominance[uid] if uid is not None else None)
+
+        for index, family in enumerate(scheme.family_order, start=1):
+            key = main_keys.get(family)
+            if key is None:
+                continue
+            chain = self._tree_chain(entity, family, key)
+            functions = {f.level: f for f in scheme.families[family]}
+            for position, tree_uid in enumerate(chain):
+                next_uid = chain[position + 1] if position + 1 < len(chain) else None
+                dom_list = tuple(
+                    build_dominance_list(
+                        entity_id=entity.id,
+                        own_index=index,
+                        num_families=n,
+                        family_trees=family_doms,
+                        emitted_tree=schedule.dominance[tree_uid],
+                        split_descendant=(
+                            schedule.dominance[next_uid] if next_uid is not None else None
+                        ),
+                    )
+                )
+                # Walk the scheduled tree top-down; emit at every block
+                # whose key matches the entity's key at that level.
+                node = schedule.trees[tree_uid]
+                while node is not None:
+                    context.emit(schedule.sequence[node.uid], (entity, dom_list))
+                    node = next(
+                        (
+                            child
+                            for child in node.children
+                            if functions[child.level].key_of(entity) == child.key
+                        ),
+                        None,
+                    )
+
+
+class SequencePartitioner(Partitioner):
+    """Route an ``SQ`` key to its reduce task (``SQ // stride``)."""
+
+    def __init__(self, schedule: ProgressiveSchedule) -> None:
+        self._stride = schedule.sequence_stride
+
+    def partition(self, key: int, num_reduce_tasks: int) -> int:
+        return key // self._stride
+
+
+class BlockRoutingReducer(Reducer):
+    """The naive Job-2 reducer: called once per block, in sequence-value
+    order (the engine sorts groups by key), resolving immediately."""
+
+    def __init__(self, schedule: ProgressiveSchedule, config: ApproachConfig) -> None:
+        self._schedule = schedule
+        self._config = config
+        self._uid_of_sequence = {sq: uid for uid, sq in schedule.sequence.items()}
+        self._resolved_in_tree: Dict[str, Set[Pair]] = {}
+
+    def reduce(
+        self, key: int, values: Sequence[RoutedEntity], context: TaskContext
+    ) -> None:
+        context.charge(context.cost_model.read_record * len(values))
+        block_uid = self._uid_of_sequence[key]
+        resolve_scheduled_block(
+            self._schedule,
+            self._config,
+            block_uid,
+            list(values),
+            self._resolved_in_tree,
+            context,
+        )
+
+
+# ---------------------------------------------------------------------------
+# End-to-end driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProgressiveResult:
+    """Everything one end-to-end run produces.
+
+    ``duplicate_events`` are ``(global time, pair)`` occurrences across both
+    phases, already deduplicated to the first discovery of each pair.
+    """
+
+    dataset: Dataset
+    stats: DatasetStatistics
+    schedule: ProgressiveSchedule
+    job1: JobResult
+    job2: JobResult
+    duplicate_events: List[Event]
+
+    @property
+    def total_time(self) -> float:
+        """End of the second job (start of Job 1 is time zero)."""
+        return self.job2.end_time
+
+    @property
+    def found_pairs(self) -> Set[Pair]:
+        """All distinct pairs reported as duplicates."""
+        return {event.payload for event in self.duplicate_events}
+
+
+class ProgressiveER:
+    """The parallel progressive ER approach, end to end.
+
+    Args:
+        config: dataset-specific configuration (see
+            :func:`repro.core.config.citeseer_config` /
+            :func:`~repro.core.config.books_config`).
+        cluster: the simulated Hadoop cluster to run on.
+        strategy: tree scheduler — ``"ours"``, ``"nosplit"`` or ``"lpt"``
+            (Section VI-B2's comparison).
+        seed: seed for training-sample selection and cost-factor sampling.
+    """
+
+    def __init__(
+        self,
+        config: ApproachConfig,
+        cluster: Cluster,
+        *,
+        strategy: str = "ours",
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.cluster = cluster
+        self.strategy = strategy
+        self.seed = seed
+
+    def run(self, dataset: Dataset) -> ProgressiveResult:
+        """Execute Job 1, schedule generation and Job 2 on ``dataset``."""
+        annotated, stats, job1 = run_statistics_job(
+            self.cluster, dataset, self.config.scheme
+        )
+        estimator = self._build_estimator(dataset)
+        model = EstimationModel(
+            self.config,
+            self.cluster.cost_model,
+            estimator,
+            len(dataset),
+            avg_cost_factor=self._average_cost_factor(dataset),
+        )
+        schedule = generate_schedule(
+            stats,
+            model,
+            self.config,
+            self.cluster.num_reduce_tasks,
+            strategy=self.strategy,
+        )
+        job2 = self._run_resolution_job(annotated, schedule, job1.end_time)
+        events = _first_discoveries(job2.events)
+        return ProgressiveResult(
+            dataset=dataset,
+            stats=stats,
+            schedule=schedule,
+            job1=job1,
+            job2=job2,
+            duplicate_events=events,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _build_estimator(self, dataset: Dataset) -> DuplicateEstimator:
+        """The duplicate estimator selected by the configuration."""
+        kind = self.config.estimator
+        if kind == "oracle":
+            return OracleEstimator().fit(dataset, self.config.scheme)
+        training = dataset.sample(self.config.train_fraction, seed=self.seed)
+        learned = LearnedEstimator().fit(training, self.config.scheme)
+        if kind == "learned":
+            return learned
+        # "uniform": keep the overall density, erase the size-dependence.
+        return UniformEstimator(learned.probability("*", -1, 1.0))
+
+    def _average_cost_factor(self, dataset: Dataset, samples: int = 200) -> float:
+        """Mean comparison-cost factor over random pairs (feeds CostP)."""
+        if len(dataset) < 2:
+            return 1.0
+        rng = random.Random(self.seed + 1)
+        total = 0.0
+        for _ in range(samples):
+            e1, e2 = rng.sample(dataset.entities, 2)
+            total += self.config.matcher.comparison_cost_factor(e1, e2)
+        return total / samples
+
+    def _run_resolution_job(
+        self,
+        annotated: Sequence[AnnotatedEntity],
+        schedule: ProgressiveSchedule,
+        start_time: float,
+    ) -> JobResult:
+        if self.config.routing == "block":
+            job = MapReduceJob(
+                mapper_factory=lambda: BlockRoutingMapper(schedule, self.config.scheme),
+                reducer_factory=lambda: BlockRoutingReducer(schedule, self.config),
+                partitioner=SequencePartitioner(schedule),
+                alpha=self.config.alpha,
+                name="progressive-resolution-naive",
+            )
+        else:
+            job = MapReduceJob(
+                mapper_factory=lambda: ResolutionMapper(schedule, self.config.scheme),
+                reducer_factory=lambda: ResolutionReducer(schedule, self.config),
+                partitioner=SchedulePartitioner(schedule),
+                alpha=self.config.alpha,
+                name="progressive-resolution",
+            )
+        return self.cluster.run_job(job, list(annotated), start_time=start_time)
+
+
+def _first_discoveries(events: Sequence[Event]) -> List[Event]:
+    """Keep only the first event per duplicate pair, in time order."""
+    seen: Set[Pair] = set()
+    result: List[Event] = []
+    for event in sorted(
+        (e for e in events if e.kind == "duplicate"), key=lambda e: e.time
+    ):
+        if event.payload in seen:
+            continue
+        seen.add(event.payload)
+        result.append(event)
+    return result
+
+
+__all__ = [
+    "ResolutionMapper",
+    "SchedulePartitioner",
+    "ResolutionReducer",
+    "BlockRoutingMapper",
+    "SequencePartitioner",
+    "BlockRoutingReducer",
+    "resolve_scheduled_block",
+    "ProgressiveER",
+    "ProgressiveResult",
+]

@@ -1,0 +1,178 @@
+"""JSON (de)serialization of progressive schedules and run results.
+
+In a production deployment the schedule is generated once (from Job-1
+statistics) and shipped to every Job-2 task; results are archived for
+later analysis.  This module provides stable, dependency-free JSON forms
+for both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from ..blocking.blocks import Block
+from ..mapreduce.types import Event
+from .estimation import BlockEstimate
+from .schedule import ProgressiveSchedule
+
+_SCHEDULE_FORMAT = 1
+_RESULT_FORMAT = 1
+
+
+def schedule_to_dict(schedule: ProgressiveSchedule) -> Dict[str, Any]:
+    """A JSON-ready representation of a :class:`ProgressiveSchedule`."""
+    blocks = []
+    for uid, block in schedule.blocks.items():
+        blocks.append(
+            {
+                "uid": uid,
+                "family": block.family,
+                "level": block.level,
+                "key": block.key,
+                "size": block.size,
+                "parent": block.parent.uid if block.parent is not None else None,
+            }
+        )
+    estimates = {
+        uid: asdict(schedule.estimates[uid])
+        for uid in schedule.blocks
+    }
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "num_tasks": schedule.num_tasks,
+        "blocks": blocks,
+        "estimates": estimates,
+        "assignment": dict(schedule.assignment),
+        "block_order": [list(order) for order in schedule.block_order],
+        "dominance": dict(schedule.dominance),
+        "main_tree": [
+            {"family": family, "key": key, "tree": uid}
+            for (family, key), uid in schedule.main_tree.items()
+        ],
+        "split_roots": {
+            family: [list(entry) for entry in entries]
+            for family, entries in schedule.split_roots.items()
+        },
+        "sequence": dict(schedule.sequence),
+        "sequence_stride": schedule.sequence_stride,
+        "cost_vector": list(schedule.cost_vector),
+        "weights": list(schedule.weights),
+        "generation_cost": schedule.generation_cost,
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> ProgressiveSchedule:
+    """Rebuild a :class:`ProgressiveSchedule` from its JSON form."""
+    if data.get("format") != _SCHEDULE_FORMAT:
+        raise ValueError(f"unsupported schedule format: {data.get('format')!r}")
+    blocks: Dict[str, Block] = {}
+    for spec in data["blocks"]:
+        blocks[spec["uid"]] = Block(
+            family=spec["family"],
+            level=spec["level"],
+            key=spec["key"],
+            entity_ids=(),
+            size_override=spec["size"],
+        )
+    trees: Dict[str, Block] = {}
+    tree_of_block: Dict[str, str] = {}
+    for spec in data["blocks"]:
+        block = blocks[spec["uid"]]
+        if spec["parent"] is None:
+            trees[block.uid] = block
+        else:
+            blocks[spec["parent"]].add_child(block)
+    for uid, root in trees.items():
+        for block in root.subtree():
+            tree_of_block[block.uid] = uid
+
+    estimates = {
+        uid: BlockEstimate(**values) for uid, values in data["estimates"].items()
+    }
+    return ProgressiveSchedule(
+        num_tasks=data["num_tasks"],
+        trees=trees,
+        estimates=estimates,
+        assignment=dict(data["assignment"]),
+        block_order=[list(order) for order in data["block_order"]],
+        dominance=dict(data["dominance"]),
+        tree_of_block=tree_of_block,
+        main_tree={
+            (entry["family"], entry["key"]): entry["tree"]
+            for entry in data["main_tree"]
+        },
+        split_roots={
+            family: [tuple(entry) for entry in entries]
+            for family, entries in data["split_roots"].items()
+        },
+        sequence=dict(data["sequence"]),
+        sequence_stride=data["sequence_stride"],
+        cost_vector=list(data["cost_vector"]),
+        weights=list(data["weights"]),
+        generation_cost=data["generation_cost"],
+        blocks=blocks,
+    )
+
+
+def save_schedule(schedule: ProgressiveSchedule, path: Path | str) -> None:
+    """Write a schedule to a JSON file."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule)), encoding="utf-8")
+
+
+def load_schedule(path: Path | str) -> ProgressiveSchedule:
+    """Read a schedule back from a JSON file."""
+    return schedule_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# ---------------------------------------------------------------------------
+# Result archives
+# ---------------------------------------------------------------------------
+
+
+def events_to_dict(events: List[Event], *, total_time: float) -> Dict[str, Any]:
+    """A JSON-ready archive of a run's duplicate events."""
+    return {
+        "format": _RESULT_FORMAT,
+        "total_time": total_time,
+        "events": [
+            {"time": event.time, "pair": list(event.payload)} for event in events
+        ],
+    }
+
+
+def events_from_dict(data: Dict[str, Any]) -> Tuple[List[Event], float]:
+    """Rebuild (events, total_time) from a result archive."""
+    if data.get("format") != _RESULT_FORMAT:
+        raise ValueError(f"unsupported result format: {data.get('format')!r}")
+    events = [
+        Event(time=entry["time"], kind="duplicate", payload=tuple(entry["pair"]))
+        for entry in data["events"]
+    ]
+    return events, data["total_time"]
+
+
+def save_events(events: List[Event], total_time: float, path: Path | str) -> None:
+    """Write a run's duplicate events to a JSON file."""
+    Path(path).write_text(
+        json.dumps(events_to_dict(events, total_time=total_time)), encoding="utf-8"
+    )
+
+
+def load_events(path: Path | str) -> Tuple[List[Event], float]:
+    """Read duplicate events back from a JSON file."""
+    return events_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "events_to_dict",
+    "events_from_dict",
+    "save_events",
+    "load_events",
+]

@@ -1,0 +1,80 @@
+"""Synthetic CiteSeerX-like publication dataset.
+
+Stands in for the 1.5M-entity CiteSeerX dump used in Sections VI-B1/VI-B2
+(unavailable offline).  Schema: title, abstract, venue, authors, year — the
+paper's blocking functions use title (X), abstract (Y) and venue (Z)
+prefixes, and its match function compares title, abstract (first ≤ 350
+characters) and venue with edit distance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from .generator import GeneratorConfig, generate_dataset
+from .dataset import Dataset
+from .perturb import NoiseProfile, Perturber
+from .vocab import VENUES, make_abstract, make_author_list, make_title, zipf_choice
+
+
+def _publication_record(rng: random.Random) -> Dict[str, str]:
+    """One clean publication record."""
+    return {
+        "title": make_title(rng),
+        "abstract": make_abstract(rng),
+        "venue": zipf_choice(rng, VENUES, skew=0.9),
+        "authors": make_author_list(rng),
+        "year": str(rng.randint(1985, 2016)),
+    }
+
+
+def citeseer_perturber() -> Perturber:
+    """Noise tuned for publication records.
+
+    Titles keep a short protected prefix (duplicate papers rarely differ in
+    the first characters of the title), abstracts are noisier and often
+    missing, venues get abbreviated.
+    """
+    return Perturber(
+        {
+            "title": NoiseProfile(
+                typo_rate=1.0, truncate_prob=0.04, swap_prob=0.08,
+                missing_prob=0.0, protect_prefix=6, apply_prob=0.85,
+            ),
+            "abstract": NoiseProfile(
+                typo_rate=1.5, truncate_prob=0.10, swap_prob=0.12,
+                missing_prob=0.12, protect_prefix=5, apply_prob=0.6,
+            ),
+            "venue": NoiseProfile(
+                typo_rate=0.6, truncate_prob=0.15, swap_prob=0.05,
+                missing_prob=0.10, protect_prefix=5, apply_prob=0.4,
+            ),
+            "authors": NoiseProfile(
+                typo_rate=1.0, truncate_prob=0.10, swap_prob=0.30,
+                missing_prob=0.05, protect_prefix=0, apply_prob=0.6,
+            ),
+            "year": NoiseProfile(
+                typo_rate=0.2, truncate_prob=0.0, swap_prob=0.0,
+                missing_prob=0.05, protect_prefix=0, apply_prob=0.25,
+            ),
+        }
+    )
+
+
+def make_citeseer(
+    num_entities: int = 6000,
+    *,
+    seed: int = 7,
+    duplicate_ratio: float = 0.35,
+) -> Dataset:
+    """Build the CiteSeerX-like dataset at the requested scale."""
+    config = GeneratorConfig(
+        num_entities=num_entities,
+        duplicate_ratio=duplicate_ratio,
+        seed=seed,
+    )
+    return generate_dataset("citeseerx-like", config, _publication_record, citeseer_perturber())
+
+
+__all__ = ["make_citeseer", "citeseer_perturber"]

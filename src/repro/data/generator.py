@@ -1,0 +1,100 @@
+"""Cluster-based synthetic dataset generation.
+
+Real ER benchmarks consist of latent real-world objects each represented by
+one or more dirty records.  The generator reproduces that structure: it
+draws clean base records from a schema-specific factory, decides a cluster
+size per object (most objects are singletons; duplicated objects get a
+geometric number of extra copies), dirties the copies with a
+:class:`~repro.data.perturb.Perturber`, shuffles everything, and records the
+ground-truth clustering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .dataset import Dataset
+from .entity import Entity
+from .perturb import Perturber
+
+RecordFactory = Callable[[random.Random], Dict[str, str]]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs shared by all synthetic dataset families.
+
+    Attributes:
+        num_entities: total number of records to produce.
+        duplicate_ratio: probability that a real-world object has more than
+            one record.
+        extra_copy_p: geometric parameter for the number of extra copies of
+            a duplicated object; the expected cluster size of a duplicated
+            object is ``1 + 1 / extra_copy_p`` (capped by ``max_cluster``).
+        max_cluster: hard cap on cluster size.
+        seed: RNG seed; everything downstream is derived from it.
+    """
+
+    num_entities: int
+    duplicate_ratio: float = 0.35
+    extra_copy_p: float = 0.6
+    max_cluster: int = 6
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_entities <= 0:
+            raise ValueError("num_entities must be positive")
+        if not 0.0 <= self.duplicate_ratio <= 1.0:
+            raise ValueError("duplicate_ratio must be in [0, 1]")
+        if not 0.0 < self.extra_copy_p <= 1.0:
+            raise ValueError("extra_copy_p must be in (0, 1]")
+        if self.max_cluster < 2:
+            raise ValueError("max_cluster must be at least 2")
+
+
+def generate_dataset(
+    name: str,
+    config: GeneratorConfig,
+    record_factory: RecordFactory,
+    perturber: Perturber,
+) -> Dataset:
+    """Produce a :class:`Dataset` with ground-truth clusters.
+
+    The first record of a cluster is the clean base; subsequent copies are
+    perturbed versions of it.  Record order is shuffled so duplicates are
+    not adjacent in the input file (which would trivialise blocking).
+    """
+    rng = random.Random(config.seed)
+    records: List[Tuple[Dict[str, str], int]] = []  # (attrs, cluster id)
+    cluster_id = 0
+    while len(records) < config.num_entities:
+        base = record_factory(rng)
+        size = _cluster_size(rng, config)
+        size = min(size, config.num_entities - len(records))
+        records.append((dict(base), cluster_id))
+        for _ in range(size - 1):
+            records.append((perturber.perturb_record(rng, base), cluster_id))
+        cluster_id += 1
+
+    rng.shuffle(records)
+    entities: List[Entity] = []
+    clusters: Dict[int, int] = {}
+    for eid, (attrs, cid) in enumerate(records):
+        entities.append(Entity(id=eid, attrs=attrs))
+        clusters[eid] = cid
+    return Dataset(entities=entities, clusters=clusters, name=name)
+
+
+def _cluster_size(rng: random.Random, config: GeneratorConfig) -> int:
+    """Sample the number of records representing one real-world object."""
+    if rng.random() >= config.duplicate_ratio:
+        return 1
+    extra = 1
+    while extra < config.max_cluster - 1 and rng.random() > config.extra_copy_p:
+        extra += 1
+    return 1 + extra
+
+
+__all__ = ["GeneratorConfig", "RecordFactory", "generate_dataset"]

@@ -1,0 +1,186 @@
+"""Vocabulary pools for the synthetic dataset generators.
+
+The generators must reproduce the statistical properties of the paper's real
+datasets that drive its effects, most importantly *block-size skew*: blocking
+on a short title prefix produces a few very large blocks (titles starting
+with "the", "a", "an", "on" ...) and a long tail of small ones.  The pools
+below are sampled Zipf-style (rank-weighted) so the skew arises naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+# Leading words for publication/book titles.  Listed roughly by natural
+# frequency; Zipf sampling over this order produces the heavy skew on the
+# first characters that the paper's X1 (title-prefix) blocking sees.
+TITLE_LEADS: Sequence[str] = (
+    "the", "a", "an", "on", "toward", "towards", "analysis", "analyzing",
+    "automatic", "adaptive", "efficient", "effective", "scalable", "parallel",
+    "distributed", "progressive", "incremental", "online", "optimal",
+    "learning", "mining", "modeling", "improving", "exploring", "evaluating",
+    "understanding", "detecting", "estimating", "querying", "indexing",
+    "ranking", "clustering", "classification", "prediction", "fast",
+    "robust", "dynamic", "static", "novel", "generalized", "probabilistic",
+    "statistical", "semantic", "structural", "temporal", "spatial",
+)
+
+TITLE_NOUNS: Sequence[str] = (
+    "entity", "resolution", "data", "database", "databases", "query",
+    "queries", "graph", "graphs", "network", "networks", "stream", "streams",
+    "cloud", "cluster", "clusters", "index", "indexes", "record", "records",
+    "linkage", "matching", "deduplication", "integration", "cleaning",
+    "quality", "warehouse", "warehouses", "schema", "schemas", "ontology",
+    "knowledge", "web", "text", "document", "documents", "image", "images",
+    "sensor", "sensors", "workload", "workloads", "transaction",
+    "transactions", "storage", "memory", "cache", "partitioning",
+    "replication", "consistency", "availability", "scalability", "latency",
+    "throughput", "algorithm", "algorithms", "model", "models", "framework",
+    "frameworks", "system", "systems", "approach", "approaches", "method",
+    "methods", "technique", "techniques", "evaluation", "benchmark",
+    "benchmarks", "optimization", "learning", "inference", "search",
+    "retrieval", "recommendation", "summarization", "visualization",
+)
+
+TITLE_CONNECTORS: Sequence[str] = (
+    "for", "of", "in", "with", "using", "over", "under", "via", "from",
+    "through", "against", "beyond", "without", "across",
+)
+
+FIRST_NAMES: Sequence[str] = (
+    "james", "john", "robert", "michael", "william", "david", "richard",
+    "joseph", "thomas", "charles", "mary", "patricia", "jennifer", "linda",
+    "elizabeth", "barbara", "susan", "jessica", "sarah", "karen", "wei",
+    "lei", "jing", "yan", "hao", "chen", "yuki", "hiro", "ravi", "anil",
+    "priya", "amit", "fatima", "omar", "ali", "hassan", "maria", "jose",
+    "carlos", "ana", "luis", "pierre", "marie", "jean", "hans", "anna",
+    "olga", "ivan", "dmitri", "sven",
+)
+
+LAST_NAMES: Sequence[str] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "chen", "wang", "li", "zhang", "liu", "yang",
+    "huang", "zhao", "wu", "zhou", "kumar", "singh", "patel", "gupta",
+    "sharma", "kim", "park", "choi", "tanaka", "suzuki", "sato", "müller",
+    "schmidt", "schneider", "fischer", "weber", "meyer", "ivanov", "petrov",
+)
+
+VENUES: Sequence[str] = (
+    "international conference on data engineering",
+    "international conference on very large data bases",
+    "acm sigmod international conference on management of data",
+    "international conference on extending database technology",
+    "acm symposium on cloud computing",
+    "international world wide web conference",
+    "acm sigkdd conference on knowledge discovery and data mining",
+    "international conference on information and knowledge management",
+    "international conference on machine learning",
+    "conference on innovative data systems research",
+    "ieee transactions on knowledge and data engineering",
+    "vldb journal",
+    "acm transactions on database systems",
+    "information systems",
+    "journal of data and information quality",
+    "international conference on database systems for advanced applications",
+    "international conference on scientific and statistical database management",
+    "international conference on web search and data mining",
+    "symposium on principles of database systems",
+    "workshop on quality in databases",
+)
+
+PUBLISHERS: Sequence[str] = (
+    "penguin books", "random house", "harpercollins", "simon and schuster",
+    "macmillan", "hachette", "oxford university press",
+    "cambridge university press", "springer", "elsevier", "wiley",
+    "mcgraw hill", "pearson", "oreilly media", "mit press",
+    "princeton university press", "vintage", "doubleday", "scribner",
+    "houghton mifflin", "norton", "bloomsbury", "faber and faber", "knopf",
+    "bantam", "dover publications", "prentice hall", "addison wesley",
+    "crc press", "academic press",
+)
+
+LANGUAGES: Sequence[str] = (
+    "english", "spanish", "french", "german", "chinese", "japanese",
+    "russian", "portuguese", "italian", "arabic", "hindi", "korean",
+)
+
+BOOK_FORMATS: Sequence[str] = (
+    "paperback", "hardcover", "ebook", "audiobook", "library binding",
+    "mass market paperback",
+)
+
+
+def zipf_choice(rng: random.Random, pool: Sequence[str], skew: float = 1.0) -> str:
+    """Pick an element with probability proportional to ``1 / rank**skew``.
+
+    The pool order defines the ranks, so earlier elements are more frequent.
+    """
+    weights = [1.0 / (rank**skew) for rank in range(1, len(pool) + 1)]
+    return rng.choices(pool, weights=weights, k=1)[0]
+
+
+def make_title(rng: random.Random, *, min_words: int = 3, max_words: int = 8) -> str:
+    """Compose a publication/book-style title with a Zipf-skewed lead word."""
+    length = rng.randint(min_words, max_words)
+    words: List[str] = [zipf_choice(rng, TITLE_LEADS, skew=1.6)]
+    for i in range(1, length):
+        if i % 2 == 0 and rng.random() < 0.4:
+            words.append(rng.choice(TITLE_CONNECTORS))
+        else:
+            words.append(rng.choice(TITLE_NOUNS))
+    return " ".join(words)
+
+
+def make_person(rng: random.Random) -> str:
+    """Compose a "first last" author name."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def make_author_list(rng: random.Random, *, max_authors: int = 4) -> str:
+    """Compose a comma-separated author list (1..max_authors names)."""
+    count = rng.randint(1, max_authors)
+    return ", ".join(make_person(rng) for _ in range(count))
+
+
+def make_abstract(rng: random.Random, *, sentences: int = 2) -> str:
+    """Compose a short pseudo-abstract from the title vocabulary.
+
+    Kept deliberately compact (~90-140 characters): the paper compares only
+    the first ≤ 350 abstract characters anyway, and comparison cost in the
+    simulator is charged by length, so short abstracts keep real runtime
+    proportional to virtual cost without changing any result shape.
+    """
+    parts: List[str] = []
+    for _ in range(sentences):
+        length = rng.randint(6, 10)
+        words = [zipf_choice(rng, TITLE_LEADS, skew=0.8)]
+        for i in range(1, length):
+            pool = TITLE_CONNECTORS if (i % 3 == 0 and rng.random() < 0.5) else TITLE_NOUNS
+            words.append(rng.choice(pool))
+        parts.append(" ".join(words))
+    return ". ".join(parts)
+
+
+__all__ = [
+    "TITLE_LEADS",
+    "TITLE_NOUNS",
+    "TITLE_CONNECTORS",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "VENUES",
+    "PUBLISHERS",
+    "LANGUAGES",
+    "BOOK_FORMATS",
+    "zipf_choice",
+    "make_title",
+    "make_person",
+    "make_author_list",
+    "make_abstract",
+]

@@ -1,0 +1,108 @@
+"""Experiment harness: one-call runners used by the benchmarks.
+
+Each helper builds the cluster, runs an approach, and returns the recall
+curve (plus the raw result for anything deeper).  Everything is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..baselines.basic import BasicConfig, BasicER, BasicResult
+from ..core.config import ApproachConfig
+from ..core.driver import ProgressiveER, ProgressiveResult
+from ..data.dataset import Dataset
+from ..mapreduce.clock import CostModel
+from ..mapreduce.engine import Cluster
+from .metrics import RecallCurve, recall_curve
+
+
+@dataclass
+class CurveRun:
+    """A labeled recall curve plus the raw run behind it."""
+
+    label: str
+    curve: RecallCurve
+    result: object
+
+    @property
+    def final_recall(self) -> float:
+        return self.curve.final_recall
+
+    @property
+    def total_time(self) -> float:
+        return self.curve.end_time
+
+
+def make_cluster(machines: int, *, cost_model: Optional[CostModel] = None) -> Cluster:
+    """A paper-shaped cluster: 2 map + 2 reduce slots per machine."""
+    return Cluster(
+        machines,
+        map_slots=2,
+        reduce_slots=2,
+        cost_model=cost_model if cost_model is not None else CostModel(),
+    )
+
+
+def run_progressive(
+    dataset: Dataset,
+    config: ApproachConfig,
+    machines: int,
+    *,
+    strategy: str = "ours",
+    seed: int = 0,
+    label: Optional[str] = None,
+    cost_model: Optional[CostModel] = None,
+) -> CurveRun:
+    """Run our approach (or a scheduler variant) and build its curve."""
+    cluster = make_cluster(machines, cost_model=cost_model)
+    result = ProgressiveER(config, cluster, strategy=strategy, seed=seed).run(dataset)
+    curve = recall_curve(
+        result.duplicate_events, dataset, end_time=result.total_time
+    )
+    return CurveRun(
+        label=label if label is not None else f"ours[{strategy}]",
+        curve=curve,
+        result=result,
+    )
+
+
+def run_basic(
+    dataset: Dataset,
+    config: BasicConfig,
+    machines: int,
+    *,
+    label: Optional[str] = None,
+    cost_model: Optional[CostModel] = None,
+) -> CurveRun:
+    """Run the Basic baseline and build its curve."""
+    cluster = make_cluster(machines, cost_model=cost_model)
+    result = BasicER(config, cluster).run(dataset)
+    curve = recall_curve(
+        result.duplicate_events, dataset, end_time=result.total_time
+    )
+    threshold = config.popcorn_threshold
+    default_label = f"basic[{'F' if threshold is None else threshold}]"
+    return CurveRun(
+        label=label if label is not None else default_label,
+        curve=curve,
+        result=result,
+    )
+
+
+def sample_times(end_time: float, points: int = 12) -> List[float]:
+    """Evenly spaced sampling times over (0, end_time] for curve tables."""
+    if points < 1:
+        raise ValueError("need at least one sample point")
+    return [end_time * (i + 1) / points for i in range(points)]
+
+
+__all__ = [
+    "CurveRun",
+    "make_cluster",
+    "run_progressive",
+    "run_basic",
+    "sample_times",
+]

@@ -1,0 +1,56 @@
+"""ASCII reporting: the benchmarks print the same rows/series the paper's
+tables and figures show."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .experiment import CurveRun
+from .metrics import RecallCurve
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curves(
+    runs: Sequence[CurveRun], times: Sequence[float], *, title: str = ""
+) -> str:
+    """Render several recall curves sampled at common times — the textual
+    equivalent of one sub-figure of the paper."""
+    headers = ["time"] + [run.label for run in runs]
+    rows: List[List[object]] = []
+    for t in times:
+        row: List[object] = [f"{t:.0f}"]
+        for run in runs:
+            row.append(f"{run.curve.recall_at(t):.3f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_final_summary(runs: Sequence[CurveRun], *, title: str = "") -> str:
+    """Final recall and total time per run (Table III shape)."""
+    headers = ["approach", "final recall", "total time"]
+    rows = [
+        [run.label, f"{run.final_recall:.3f}", f"{run.total_time:.0f}"]
+        for run in runs
+    ]
+    return format_table(headers, rows, title=title)
+
+
+__all__ = ["format_table", "format_curves", "format_final_summary"]

@@ -1,0 +1,45 @@
+"""Hadoop-style counters for the MapReduce simulator."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Tuple
+
+
+class Counters:
+    """A two-level (group, name) -> integer counter map.
+
+    Mirrors Hadoop's job counters: tasks increment local counters and the
+    engine aggregates them into the job result.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``(group, name)``."""
+        self._values[(group, name)] += amount
+
+    def get(self, group: str, name: str) -> int:
+        """Current value of ``(group, name)`` (0 if never incremented)."""
+        return self._values.get((group, name), 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one."""
+        for key, value in other._values.items():
+            self._values[key] += value
+
+    def items(self) -> Iterable[Tuple[Tuple[str, str], int]]:
+        """Iterate ``((group, name), value)`` pairs."""
+        return self._values.items()
+
+    def as_dict(self) -> Dict[Tuple[str, str], int]:
+        """Snapshot of all counters."""
+        return dict(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{g}.{n}={v}" for (g, n), v in sorted(self._values.items()))
+        return f"Counters({inner})"

@@ -1,0 +1,314 @@
+"""The cluster simulator: slot scheduling, phases, and job execution.
+
+The paper runs Hadoop 1.2.1 on μ machines with *at most two concurrent map
+and two concurrent reduce tasks per machine*, block size tuned so the number
+of map tasks equals the number of map slots, and speculative execution
+disabled.  :class:`Cluster` reproduces exactly that static-slot model:
+
+* a job's map tasks are scheduled onto ``machines * map_slots`` slots in
+  waves (earliest-free-slot first, deterministic tie-break by slot index);
+* the reduce phase begins only after the last map task finishes (Hadoop
+  cannot invoke ``reduce()`` before the shuffle completes);
+* each reduce task is charged shuffle cost proportional to the records it
+  receives, then runs its groups to completion.
+
+All time is virtual (see :mod:`repro.mapreduce.clock`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from .clock import CostModel
+from .counters import Counters
+from .job import MapReduceJob, TaskContext, split_input
+from .types import Event, JobResult, KeyValue, OutputFile, TaskResult
+
+
+class SlotPool:
+    """A set of identical execution slots with earliest-availability scheduling."""
+
+    def __init__(self, num_slots: int, ready_time: float) -> None:
+        if num_slots <= 0:
+            raise ValueError(f"need at least one slot, got {num_slots}")
+        self._free_at = [ready_time] * num_slots
+
+    def schedule(self, cost: float) -> tuple[float, float]:
+        """Place a task of ``cost`` units on the earliest-free slot.
+
+        Returns ``(start_time, end_time)`` in global virtual time.
+        """
+        slot = min(range(len(self._free_at)), key=lambda i: (self._free_at[i], i))
+        start = self._free_at[slot]
+        end = start + cost
+        self._free_at[slot] = end
+        return start, end
+
+    @property
+    def makespan(self) -> float:
+        """Global time at which every slot is free again."""
+        return max(self._free_at)
+
+
+class Cluster:
+    """A simulated Hadoop cluster.
+
+    Args:
+        machines: number of worker machines (μ in the paper).
+        map_slots: concurrent map tasks per machine (paper: 2).
+        reduce_slots: concurrent reduce tasks per machine (paper: 2).
+        cost_model: unit costs charged to every task clock.
+    """
+
+    def __init__(
+        self,
+        machines: int,
+        *,
+        map_slots: int = 2,
+        reduce_slots: int = 2,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if machines <= 0:
+            raise ValueError(f"machines must be positive, got {machines}")
+        self.machines = machines
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+    @property
+    def num_map_tasks(self) -> int:
+        """Default map parallelism: one wave filling every map slot."""
+        return self.machines * self.map_slots
+
+    @property
+    def num_reduce_tasks(self) -> int:
+        """Default reduce parallelism: one task per reduce slot."""
+        return self.machines * self.reduce_slots
+
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        job: MapReduceJob,
+        records: Sequence[Any],
+        *,
+        start_time: float = 0.0,
+        num_map_tasks: Optional[int] = None,
+        num_reduce_tasks: Optional[int] = None,
+        map_failures: Optional[dict] = None,
+        reduce_failures: Optional[dict] = None,
+    ) -> JobResult:
+        """Execute one MapReduce job and return its :class:`JobResult`.
+
+        ``records`` is the logical input file; it is split contiguously
+        across map tasks.  ``start_time`` lets callers chain jobs (Job 2
+        starts when Job 1 ends).
+
+        ``map_failures`` / ``reduce_failures`` inject Hadoop-style task
+        failures: ``{task_id: attempts_that_fail}``.  A failed attempt
+        occupies its slot for the task's full cost, then the framework
+        re-executes the task from scratch — results are identical, only
+        the timeline stretches (Hadoop's deterministic-retry fault model).
+        """
+        n_map = num_map_tasks if num_map_tasks is not None else self.num_map_tasks
+        n_red = num_reduce_tasks if num_reduce_tasks is not None else self.num_reduce_tasks
+        job.config.setdefault("num_reduce_tasks", n_red)
+        job.config.setdefault("num_map_tasks", n_map)
+
+        counters = Counters()
+        map_results, partitions = self._run_map_phase(
+            job, records, n_map, n_red, start_time, counters,
+            map_failures or {},
+        )
+        map_phase_end = max((t.end_time for t in map_results), default=start_time)
+
+        reduce_results, files = self._run_reduce_phase(
+            job, partitions, n_red, map_phase_end, counters,
+            reduce_failures or {},
+        )
+        end_time = max((t.end_time for t in reduce_results), default=map_phase_end)
+
+        events: List[Event] = []
+        for task in map_results + reduce_results:
+            events.extend(task.events)
+        events.sort(key=lambda e: (e.time, e.kind))
+
+        output: List[Any] = []
+        for task in reduce_results:
+            output.extend(task.output)
+
+        return JobResult(
+            start_time=start_time,
+            map_phase_end=map_phase_end,
+            end_time=end_time,
+            map_tasks=map_results,
+            reduce_tasks=reduce_results,
+            events=events,
+            output=output,
+            output_files=files,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_map_phase(
+        self,
+        job: MapReduceJob,
+        records: Sequence[Any],
+        n_map: int,
+        n_red: int,
+        start_time: float,
+        counters: Counters,
+        failures: dict,
+    ) -> tuple[List[TaskResult], List[List[KeyValue]]]:
+        """Run all map tasks; return task results and per-reducer partitions."""
+        splits = split_input(records, n_map)
+        pool = SlotPool(self.machines * self.map_slots, start_time)
+        partitions: List[List[KeyValue]] = [[] for _ in range(n_red)]
+        results: List[TaskResult] = []
+
+        for task_id, split in enumerate(splits):
+            context = TaskContext(task_id, self.cost_model, job.config)
+            mapper = job.mapper_factory()
+            mapper.setup(context)
+            for record in split:
+                context.charge(self.cost_model.read_record)
+                mapper.map(record, context)
+            mapper.cleanup(context)
+            emitted = context.emitted
+            if job.combiner is not None:
+                emitted = self._apply_combiner(job, emitted, context, counters)
+            counters.merge(context.counters)
+            counters.increment("map", "records", len(split))
+            counters.increment("map", "emitted", len(emitted))
+
+            start, end, attempt_start = self._schedule_attempts(
+                pool, context.clock.now, failures.get(task_id, 0)
+            )
+            counters.increment("map", "retries", failures.get(task_id, 0))
+            results.append(
+                TaskResult(
+                    task_id=task_id,
+                    cost=context.clock.now,
+                    start_time=start,
+                    end_time=end,
+                    events=[
+                        Event(time=attempt_start + e.time, kind=e.kind, payload=e.payload)
+                        for e in context.emitted_events
+                    ],
+                    output=emitted,
+                )
+            )
+            for key, value in emitted:
+                idx = job.partitioner.partition(key, n_red)
+                if not 0 <= idx < n_red:
+                    raise ValueError(
+                        f"partitioner returned {idx} for key {key!r}; "
+                        f"valid range is [0, {n_red})"
+                    )
+                partitions[idx].append((key, value))
+        return results, partitions
+
+    def _apply_combiner(
+        self,
+        job: MapReduceJob,
+        emitted: List[KeyValue],
+        context: TaskContext,
+        counters: Counters,
+    ) -> List[KeyValue]:
+        """Fold a map task's output through the job's combiner."""
+        assert job.combiner is not None
+        context.charge(self.cost_model.sort_cost(len(emitted)))
+        groups = _group_by_key(emitted)
+        combined: List[KeyValue] = []
+        for key, values in groups.items():
+            for value in job.combiner.combine(key, values):
+                combined.append((key, value))
+        counters.increment("combine", "input", len(emitted))
+        counters.increment("combine", "output", len(combined))
+        return combined
+
+    @staticmethod
+    def _schedule_attempts(
+        pool: SlotPool, cost: float, failed_attempts: int
+    ) -> tuple[float, float, float]:
+        """Place a task with ``failed_attempts`` full-cost failed attempts
+        before the successful one; returns (start, end, successful start)."""
+        total = cost * (failed_attempts + 1)
+        start, end = pool.schedule(total)
+        return start, end, start + cost * failed_attempts
+
+    def _run_reduce_phase(
+        self,
+        job: MapReduceJob,
+        partitions: List[List[KeyValue]],
+        n_red: int,
+        phase_start: float,
+        counters: Counters,
+        failures: dict,
+    ) -> tuple[List[TaskResult], List[OutputFile]]:
+        """Run all reduce tasks; return task results and output files."""
+        pool = SlotPool(self.machines * self.reduce_slots, phase_start)
+        results: List[TaskResult] = []
+        all_files: List[OutputFile] = []
+
+        for task_id in range(n_red):
+            items = partitions[task_id]
+            context = TaskContext(
+                task_id, self.cost_model, job.config, alpha=job.alpha
+            )
+            # Shuffle: pull records in, then sort groups by key.
+            context.charge(self.cost_model.shuffle_record * len(items))
+            groups = _group_by_key(items)
+            keys = list(groups.keys())
+            sort_key = job.key_sort
+            keys.sort(key=sort_key if sort_key is not None else _default_key)
+            context.charge(self.cost_model.sort_cost(len(items)))
+
+            reducer = job.reducer_factory()
+            reducer.setup(context)
+            for key in keys:
+                reducer.reduce(key, groups[key], context)
+            reducer.cleanup(context)
+            counters.merge(context.counters)
+            counters.increment("reduce", "groups", len(keys))
+            counters.increment("reduce", "records", len(items))
+
+            start, end, attempt_start = self._schedule_attempts(
+                pool, context.clock.now, failures.get(task_id, 0)
+            )
+            counters.increment("reduce", "retries", failures.get(task_id, 0))
+            files = context.finalize_files()
+            for f in files:
+                f.close_time += attempt_start  # rebase to global time
+            all_files.extend(files)
+            results.append(
+                TaskResult(
+                    task_id=task_id,
+                    cost=context.clock.now,
+                    start_time=start,
+                    end_time=end,
+                    events=[
+                        Event(time=attempt_start + e.time, kind=e.kind, payload=e.payload)
+                        for e in context.emitted_events
+                    ],
+                    output=context.written,
+                )
+            )
+        return results, all_files
+
+
+def _group_by_key(items: Sequence[KeyValue]) -> "dict[Any, List[Any]]":
+    """Group shuffled key-value pairs by key, preserving arrival order."""
+    groups: dict[Any, List[Any]] = {}
+    for key, value in items:
+        groups.setdefault(key, []).append(value)
+    return groups
+
+
+def _default_key(key: Any) -> Any:
+    """Default group ordering: natural key order with a repr fallback."""
+    return (0, key) if isinstance(key, (int, float)) else (1, repr(key))
+
+
+__all__ = ["Cluster", "SlotPool"]

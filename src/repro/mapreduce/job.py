@@ -1,0 +1,237 @@
+"""Job specification: mappers, reducers, partitioners and task contexts.
+
+The API intentionally mirrors Hadoop's old-style ``org.apache.hadoop.mapred``
+interfaces (``setup`` / ``map`` / ``reduce`` / ``Partitioner``) because the
+paper's implementation targets Hadoop 1.2.1 and relies on details such as the
+map-task ``setup`` hook (where the progressive schedule is generated) and a
+custom partition function (which routes blocks by sequence value).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from .clock import CostModel, VirtualClock
+from .counters import Counters
+from .types import Config, Event, KeyValue, OutputFile
+
+
+class TaskContext:
+    """Per-task runtime handle passed to mappers and reducers.
+
+    Provides cost charging, event recording, counters, and (reduce side)
+    incremental output.  ``alpha`` enables the paper's "new output file every
+    α units of cost" behaviour; ``alpha = None`` keeps a single file closed
+    at task end.
+    """
+
+    def __init__(
+        self,
+        task_id: int,
+        cost_model: CostModel,
+        config: Config,
+        *,
+        alpha: Optional[float] = None,
+    ) -> None:
+        self.task_id = task_id
+        self.cost_model = cost_model
+        self.config = config
+        self.clock = VirtualClock()
+        self.counters = Counters()
+        self.emitted: List[KeyValue] = []
+        self.written: List[Any] = []
+        self._alpha = alpha
+        self._files: List[OutputFile] = []
+        self._current_file = OutputFile(task_id=task_id, index=0, close_time=0.0)
+        self._next_flush = alpha if alpha is not None else None
+        self._start_time = 0.0  # set by the engine before running
+
+    # -- cost & events ---------------------------------------------------
+
+    def charge(self, units: float) -> float:
+        """Charge ``units`` of cost and return the new local time."""
+        now = self.clock.charge(units)
+        if self._next_flush is not None and now >= self._next_flush:
+            self._rotate_file(now)
+        return now
+
+    def record_event(self, kind: str, payload: Any) -> None:
+        """Record an event at the current local time.
+
+        The engine rebases event times to global time after the task ran.
+        """
+        self.emitted_events.append(Event(time=self.clock.now, kind=kind, payload=payload))
+
+    @property
+    def emitted_events(self) -> List[Event]:
+        if not hasattr(self, "_events"):
+            self._events: List[Event] = []
+        return self._events
+
+    # -- map-side emission ------------------------------------------------
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit an intermediate key-value pair (map side)."""
+        self.charge(self.cost_model.emit_pair)
+        self.emitted.append((key, value))
+
+    # -- reduce-side output -----------------------------------------------
+
+    def write(self, record: Any) -> None:
+        """Write a final output record (reduce side), into the current file."""
+        self.written.append(record)
+        self._current_file.records.append(record)
+
+    def _rotate_file(self, now: float) -> None:
+        """Close the current output file and open the next one."""
+        assert self._alpha is not None and self._next_flush is not None
+        self._current_file.close_time = now
+        self._files.append(self._current_file)
+        self._current_file = OutputFile(
+            task_id=self.task_id, index=self._current_file.index + 1, close_time=0.0
+        )
+        while self._next_flush <= now:
+            self._next_flush += self._alpha
+
+    def finalize_files(self) -> List[OutputFile]:
+        """Close the trailing file at task end and return all files."""
+        if self._current_file.records or not self._files:
+            self._current_file.close_time = self.clock.now
+            self._files.append(self._current_file)
+        return self._files
+
+
+class Mapper:
+    """Base mapper.  Subclasses override :meth:`map` (and optionally
+    :meth:`setup`, which Hadoop calls once per map task before any input)."""
+
+    def setup(self, context: TaskContext) -> None:
+        """Called once before the first record; may charge setup cost."""
+
+    def map(self, record: Any, context: TaskContext) -> None:
+        """Process one input record; emit via ``context.emit``."""
+        raise NotImplementedError
+
+    def cleanup(self, context: TaskContext) -> None:
+        """Called once after the last record."""
+
+
+class Reducer:
+    """Base reducer.  Subclasses override :meth:`reduce`."""
+
+    def setup(self, context: TaskContext) -> None:
+        """Called once per reduce task before any group."""
+
+    def reduce(self, key: Any, values: Sequence[Any], context: TaskContext) -> None:
+        """Process one key group; write via ``context.write``."""
+        raise NotImplementedError
+
+    def cleanup(self, context: TaskContext) -> None:
+        """Called once after the last group."""
+
+
+class Combiner:
+    """Map-side pre-aggregation (Hadoop's combiner).
+
+    Applied to each map task's output before the shuffle: values of equal
+    keys emitted by one task are folded into fewer values, cutting shuffle
+    volume.  Like Hadoop, the framework may apply it zero or more times, so
+    a combiner must be associative and produce values the reducer accepts.
+    """
+
+    def combine(self, key: Any, values: Sequence[Any]) -> List[Any]:
+        """Fold one task-local key group; return the replacement values."""
+        raise NotImplementedError
+
+
+class Partitioner:
+    """Maps an intermediate key to a reduce-task index."""
+
+    def partition(self, key: Any, num_reduce_tasks: int) -> int:
+        """Default: stable hash partitioning (Hadoop's HashPartitioner)."""
+        return stable_hash(key) % num_reduce_tasks
+
+
+def stable_hash(key: Any) -> int:
+    """A deterministic, process-independent hash for partitioning.
+
+    Python's builtin ``hash`` is salted per process for strings; the
+    simulator must be reproducible across runs, so keys are hashed through
+    a small FNV-1a over their ``repr``.
+    """
+    data = repr(key).encode("utf-8")
+    acc = 0xCBF29CE484222325
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+class MapReduceJob:
+    """Declarative description of one MapReduce job.
+
+    Attributes:
+        mapper_factory: zero-arg callable returning a fresh :class:`Mapper`
+            per map task (tasks must not share mutable state).
+        reducer_factory: zero-arg callable returning a fresh
+            :class:`Reducer` per reduce task.
+        partitioner: routes intermediate keys to reduce tasks.
+        combiner: optional map-side pre-aggregation.
+        key_sort: optional sort key applied to each reduce task's groups
+            (Hadoop sorts by key; jobs may override the comparator).
+        config: arbitrary job configuration visible to all tasks.
+        alpha: incremental-output flush period for reduce tasks (cost units).
+        name: label used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        mapper_factory: Callable[[], Mapper],
+        reducer_factory: Callable[[], Reducer],
+        *,
+        partitioner: Optional[Partitioner] = None,
+        combiner: Optional[Combiner] = None,
+        key_sort: Optional[Callable[[Any], Any]] = None,
+        config: Optional[Config] = None,
+        alpha: Optional[float] = None,
+        name: str = "job",
+    ) -> None:
+        self.mapper_factory = mapper_factory
+        self.reducer_factory = reducer_factory
+        self.partitioner = partitioner if partitioner is not None else Partitioner()
+        self.combiner = combiner
+        self.key_sort = key_sort
+        self.config = dict(config) if config else {}
+        self.alpha = alpha
+        self.name = name
+
+
+def split_input(records: Sequence[Any], num_splits: int) -> List[List[Any]]:
+    """Partition input records into ``num_splits`` contiguous splits.
+
+    Mirrors HDFS block-based splits: contiguous ranges, sizes differing by
+    at most one record.  Empty splits are allowed when there are more splits
+    than records (Hadoop would simply run empty map tasks).
+    """
+    if num_splits <= 0:
+        raise ValueError(f"num_splits must be positive, got {num_splits}")
+    n = len(records)
+    base, extra = divmod(n, num_splits)
+    splits: List[List[Any]] = []
+    start = 0
+    for i in range(num_splits):
+        size = base + (1 if i < extra else 0)
+        splits.append(list(records[start : start + size]))
+        start += size
+    return splits
+
+
+__all__ = [
+    "TaskContext",
+    "Mapper",
+    "Reducer",
+    "Partitioner",
+    "MapReduceJob",
+    "split_input",
+    "stable_hash",
+]

@@ -1,0 +1,216 @@
+"""Progressive mechanism interface and the block-resolution driver.
+
+A *progressive mechanism M* (paper Section II-B) is any ER algorithm —
+possibly combined with a hint — that can be applied on a block to identify
+its duplicate pairs as quickly as possible.  Here a mechanism contributes
+two things:
+
+* a **pair stream**: candidate entity pairs of one block in priority order
+  (most-likely-duplicate first), and
+* an **additional cost** ``CostA`` (hint generation, sorting, reading) that
+  it charges before the first comparison.
+
+:func:`resolve_block` is the shared driver used by both our approach's
+reducer and the Basic baseline: it walks the stream, lets the caller veto
+pairs (redundancy-free resolution / already-resolved-in-child checks),
+invokes the match function, charges comparison cost, and consults a
+pluggable stop condition after every comparison.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Protocol, Sequence, Tuple
+
+from ..data.entity import Entity
+from ..mapreduce.clock import CostModel
+from ..similarity.matchers import WeightedMatcher
+
+SortKey = Callable[[Entity], object]
+ChargeFn = Callable[[float], float]
+PairCallback = Callable[[Entity, Entity], None]
+ShouldResolve = Callable[[Entity, Entity], bool]
+
+
+@dataclass
+class ResolveStats:
+    """Mutable tally of one block resolution.
+
+    Attributes:
+        comparisons: resolve-function invocations actually performed.
+        duplicates: pairs declared duplicates.
+        distincts: pairs declared distinct.
+        skipped: pairs vetoed by ``should_resolve`` (redundancy / already
+            resolved in a child block).
+        exhausted: True when the pair stream ran dry (block fully resolved
+            up to the mechanism's window), False when the stop condition
+            fired first.
+    """
+
+    comparisons: int = 0
+    duplicates: int = 0
+    distincts: int = 0
+    skipped: int = 0
+    exhausted: bool = False
+
+
+class StopCondition(Protocol):
+    """Consulted after every comparison; ``True`` terminates the block."""
+
+    def should_stop(self, stats: ResolveStats, was_duplicate: bool) -> bool:
+        """Decide termination given the running stats of this block."""
+        ...
+
+
+class NeverStop:
+    """Run the mechanism to stream exhaustion (Basic F / root blocks)."""
+
+    def should_stop(self, stats: ResolveStats, was_duplicate: bool) -> bool:
+        return False
+
+
+class DistinctBudget:
+    """Terminate after ``threshold`` distinct pairs (paper Section III-A).
+
+    This is the termination threshold ``Th(X^i_j)`` used for non-root
+    blocks: the mechanism keeps going while it finds duplicates and stops
+    once it has burned the distinct-pair budget.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        self.threshold = threshold
+
+    def should_stop(self, stats: ResolveStats, was_duplicate: bool) -> bool:
+        return stats.distincts >= self.threshold
+
+
+class Mechanism(ABC):
+    """Base class for progressive mechanisms."""
+
+    #: short identifier used in reports.
+    name: str = "mechanism"
+
+    @abstractmethod
+    def pair_stream(
+        self,
+        entities: Sequence[Entity],
+        window: int,
+        sort_key: SortKey,
+        charge: ChargeFn,
+        cost_model: CostModel,
+    ) -> Iterator[Tuple[Entity, Entity]]:
+        """Yield candidate pairs in priority order, charging ``CostA`` first."""
+
+    @abstractmethod
+    def additional_cost(self, n: int, window: int, cost_model: CostModel) -> float:
+        """``CostA`` estimate for a block of size ``n`` (used by both the
+        real charging and the cost model of Section IV-B)."""
+
+
+def block_sort_key(entity: Entity, primary: str) -> Tuple[str, str]:
+    """Sorting key for SN-style mechanisms: the blocking attribute first
+    (the paper sorts each block on the attribute its blocking function is
+    defined on), the remaining attributes as tie-break.
+
+    The tie-break matters in blocks keyed on low-cardinality attributes
+    (e.g. venue): thousands of entities share the identical primary value,
+    and without a content tie-break duplicates would be scattered randomly
+    across the tie region, far outside any realistic window.  The title
+    (the most stable attribute in both datasets) leads the tie-break, then
+    the remaining attributes in name order.
+    """
+    parts = []
+    if primary != "title":
+        parts.append(entity.get("title"))
+    parts.extend(
+        value
+        for name, value in sorted(entity.attrs.items())
+        if name != primary and name != "title"
+    )
+    return entity.get(primary), "\x1f".join(parts)
+
+
+def window_pairs_count(n: int, window: int) -> int:
+    """Number of pairs at rank distance < ``window`` in a sorted list of n.
+
+    ``sum_{d=1}^{min(w-1, n-1)} (n - d)`` — the work an SN-style mechanism
+    performs when run to exhaustion.
+    """
+    if n < 2 or window < 2:
+        return 0
+    dmax = min(window - 1, n - 1)
+    return dmax * n - dmax * (dmax + 1) // 2
+
+
+def resolve_block(
+    entities: Sequence[Entity],
+    mechanism: Mechanism,
+    *,
+    window: int,
+    sort_key: SortKey,
+    matcher: WeightedMatcher,
+    cost_model: CostModel,
+    charge: ChargeFn,
+    on_duplicate: PairCallback,
+    should_resolve: Optional[ShouldResolve] = None,
+    stop: Optional[StopCondition] = None,
+    on_resolved: Optional[Callable[[Entity, Entity, bool], None]] = None,
+) -> ResolveStats:
+    """Resolve one block with mechanism M (shared driver).
+
+    Args:
+        entities: the block's members.
+        mechanism: the progressive mechanism M.
+        window: SN-style window size for this block.
+        sort_key: attribute extractor used to sort the block (the paper
+            sorts on the attribute the blocking was performed on).
+        matcher: the resolve/match function.
+        cost_model: unit costs.
+        charge: task-clock charging callback.
+        on_duplicate: called for every pair declared duplicate.
+        should_resolve: optional veto; a vetoed pair costs nothing and is
+            counted in ``stats.skipped``.
+        stop: stop condition (default: run to exhaustion).
+        on_resolved: optional observer called for every *performed*
+            comparison with the verdict (used to track per-tree resolved
+            pairs so parents skip work done in children).
+
+    Returns:
+        the final :class:`ResolveStats` of the block.
+    """
+    stats = ResolveStats()
+    condition = stop if stop is not None else NeverStop()
+    stream = mechanism.pair_stream(entities, window, sort_key, charge, cost_model)
+    for e1, e2 in stream:
+        if should_resolve is not None and not should_resolve(e1, e2):
+            stats.skipped += 1
+            continue
+        charge(cost_model.compare * matcher.comparison_cost_factor(e1, e2))
+        is_dup = matcher.is_match(e1, e2)
+        stats.comparisons += 1
+        if is_dup:
+            stats.duplicates += 1
+            on_duplicate(e1, e2)
+        else:
+            stats.distincts += 1
+        if on_resolved is not None:
+            on_resolved(e1, e2, is_dup)
+        if condition.should_stop(stats, is_dup):
+            return stats
+    stats.exhausted = True
+    return stats
+
+
+__all__ = [
+    "Mechanism",
+    "ResolveStats",
+    "StopCondition",
+    "NeverStop",
+    "DistinctBudget",
+    "resolve_block",
+    "window_pairs_count",
+    "SortKey",
+]

@@ -1,0 +1,42 @@
+"""Exhaustive (all-pairs) resolution.
+
+Not one of the paper's progressive mechanisms, but the traditional
+similarity-computation baseline: every pair in the block, in arbitrary
+(id) order.  Useful as a worst-case comparator in examples and ablations,
+and as the semantics reference in tests (any window-limited mechanism finds
+a subset of what this one finds).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence, Tuple
+
+from ..data.entity import Entity
+from ..mapreduce.clock import CostModel
+from .base import ChargeFn, Mechanism, SortKey
+
+
+class FullResolution(Mechanism):
+    """Compare all pairs of the block; ``window`` is ignored."""
+
+    name = "full"
+
+    def pair_stream(
+        self,
+        entities: Sequence[Entity],
+        window: int,
+        sort_key: SortKey,
+        charge: ChargeFn,
+        cost_model: CostModel,
+    ) -> Iterator[Tuple[Entity, Entity]]:
+        charge(self.additional_cost(len(entities), window, cost_model))
+        ordered = sorted(entities, key=lambda e: e.id)
+        yield from combinations(ordered, 2)
+
+    def additional_cost(self, n: int, window: int, cost_model: CostModel) -> float:
+        """``CostA``: reading the block members (no sort, no hint)."""
+        return cost_model.read_record * n
+
+
+__all__ = ["FullResolution"]

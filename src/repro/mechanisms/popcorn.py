@@ -1,0 +1,46 @@
+"""The popcorn stopping scheme [Whang et al. '13].
+
+Section VI-B1: "The popcorn scheme terminates the mechanism M on the block
+at hand when the rate of the newly identified duplicate pairs drops below
+the specified threshold."
+
+Implemented as a barren-run detector: if more than ``1 / threshold``
+consecutive comparisons pass without a new duplicate, the instantaneous
+duplicate rate has provably dropped below ``threshold`` and the block is
+abandoned.  This maps the paper's threshold scale monotonically —
+``0.1`` stops after 10 barren comparisons (very aggressive, low final
+recall), ``0.00001`` after 100 000 (effectively resolves small blocks to
+completion, like Basic F).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import ResolveStats, StopCondition
+
+
+class PopcornCondition(StopCondition):
+    """Stop when the duplicate-detection rate falls below ``threshold``."""
+
+    def __init__(self, threshold: float) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"popcorn threshold must be in (0, 1), got {threshold}")
+        self.threshold = threshold
+        #: comparisons allowed without a duplicate before stopping.
+        self.barren_limit = math.ceil(1.0 / threshold)
+        self._barren = 0
+
+    def should_stop(self, stats: ResolveStats, was_duplicate: bool) -> bool:
+        if was_duplicate:
+            self._barren = 0
+            return False
+        self._barren += 1
+        return self._barren >= self.barren_limit
+
+    def reset(self) -> None:
+        """Re-arm the detector for the next block."""
+        self._barren = 0
+
+
+__all__ = ["PopcornCondition"]

@@ -1,0 +1,30 @@
+"""Similarity kernels and the weighted-sum resolve/match function."""
+
+from .edit_distance import edit_similarity, edit_similarity_at_least, levenshtein
+from .jaro import jaro, jaro_winkler
+from .matchers import (
+    AttributeRule,
+    WeightedMatcher,
+    books_matcher,
+    citeseer_matcher,
+    people_matcher,
+)
+from .tokens import jaccard, qgram_jaccard, qgrams, token_jaccard, word_tokens
+
+__all__ = [
+    "levenshtein",
+    "edit_similarity",
+    "edit_similarity_at_least",
+    "jaro",
+    "jaro_winkler",
+    "AttributeRule",
+    "WeightedMatcher",
+    "citeseer_matcher",
+    "books_matcher",
+    "people_matcher",
+    "word_tokens",
+    "qgrams",
+    "jaccard",
+    "token_jaccard",
+    "qgram_jaccard",
+]

@@ -1,0 +1,167 @@
+"""Edit-distance kernels.
+
+The paper's match function compares attribute values with edit distance
+(Levenshtein).  The implementation below is a two-row dynamic program with
+two standard optimizations that matter for a pure-Python ER workload:
+
+* **Upper-bound banding** — when the caller only needs to know whether the
+  distance is below ``max_distance`` (similarity thresholding), cells
+  further than the bound from the diagonal can never contribute, so the DP
+  explores a band of width ``2 * max_distance + 1`` and exits early when a
+  whole row exceeds the bound.
+* **Common prefix/suffix stripping** — duplicates usually share long runs.
+* **Myers' bit-parallel kernel** — unbounded distances are computed with
+  the bit-vector algorithm of Myers (JACM 1999): the whole DP column lives
+  in one Python integer, so each of the ``n`` iterations is a handful of
+  word-level operations.  Two orders of magnitude faster than the scalar
+  DP on abstract-length strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def levenshtein(a: str, b: str, *, max_distance: Optional[int] = None) -> int:
+    """Levenshtein distance between ``a`` and ``b``.
+
+    With ``max_distance`` set, returns ``max_distance + 1`` as soon as the
+    true distance is provably greater than the bound (banded computation).
+    """
+    if a == b:
+        return 0
+    # Strip the common prefix and suffix; they never affect the distance.
+    start = 0
+    limit = min(len(a), len(b))
+    while start < limit and a[start] == b[start]:
+        start += 1
+    end_a, end_b = len(a), len(b)
+    while end_a > start and end_b > start and a[end_a - 1] == b[end_b - 1]:
+        end_a -= 1
+        end_b -= 1
+    a, b = a[start:end_a], b[start:end_b]
+    if not a:
+        return _bounded(len(b), max_distance)
+    if not b:
+        return _bounded(len(a), max_distance)
+    if len(a) > len(b):
+        a, b = b, a
+    if max_distance is not None and len(b) - len(a) > max_distance:
+        return max_distance + 1
+
+    if max_distance is None:
+        return _myers_dp(a, b)
+    return _banded_dp(a, b, max_distance)
+
+
+def _bounded(distance: int, max_distance: Optional[int]) -> int:
+    """Clamp a known distance to the caller's bound convention."""
+    if max_distance is not None and distance > max_distance:
+        return max_distance + 1
+    return distance
+
+
+def _full_dp(a: str, b: str) -> int:
+    """Classic two-row DP, no bound."""
+    previous = list(range(len(a) + 1))
+    current = [0] * (len(a) + 1)
+    for j, cb in enumerate(b, start=1):
+        current[0] = j
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            current[i] = min(
+                previous[i] + 1,        # deletion
+                current[i - 1] + 1,     # insertion
+                previous[i - 1] + cost, # substitution
+            )
+        previous, current = current, previous
+    return previous[len(a)]
+
+
+def _myers_dp(a: str, b: str) -> int:
+    """Myers' bit-parallel Levenshtein (JACM '99), arbitrary lengths.
+
+    ``a`` (the pattern, kept as the shorter string) is encoded as one
+    bitmask per character; the vertical delta vectors ``vp`` / ``vn`` live
+    in single Python integers, so long patterns transparently use big-int
+    words with no code change.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    m = len(a)
+    peq: Dict[str, int] = {}
+    for i, ch in enumerate(a):
+        peq[ch] = peq.get(ch, 0) | (1 << i)
+    mask = (1 << m) - 1
+    last = 1 << (m - 1)
+    vp = mask
+    vn = 0
+    distance = m
+    for ch in b:
+        eq = peq.get(ch, 0)
+        d0 = ((((eq & vp) + vp) ^ vp) | eq | vn) & mask
+        hp = vn | ~(d0 | vp)
+        hn = d0 & vp
+        if hp & last:
+            distance += 1
+        elif hn & last:
+            distance -= 1
+        hp = ((hp << 1) | 1) & mask
+        hn = (hn << 1) & mask
+        vp = (hn | (~(d0 | hp) & mask)) & mask
+        vn = d0 & hp
+    return distance
+
+
+def _banded_dp(a: str, b: str, bound: int) -> int:
+    """Two-row DP restricted to a diagonal band of half-width ``bound``."""
+    big = bound + 1
+    previous = [i if i <= bound else big for i in range(len(a) + 1)]
+    current = [big] * (len(a) + 1)
+    for j, cb in enumerate(b, start=1):
+        lo = max(1, j - bound)
+        hi = min(len(a), j + bound)
+        current[lo - 1] = j if (j <= bound and lo == 1) else big
+        row_min = current[lo - 1]
+        for i in range(lo, hi + 1):
+            ca = a[i - 1]
+            cost = 0 if ca == cb else 1
+            best = previous[i - 1] + cost
+            if previous[i] + 1 < best:
+                best = previous[i] + 1
+            if current[i - 1] + 1 < best:
+                best = current[i - 1] + 1
+            current[i] = best if best <= bound else big
+            if current[i] < row_min:
+                row_min = current[i]
+        if row_min > bound:
+            return big
+        previous, current = current, previous
+        for i in range(len(current)):
+            current[i] = big
+    return previous[len(a)] if previous[len(a)] <= bound else big
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity ``1 - dist / max(len)`` in [0, 1].
+
+    Empty-vs-empty compares as 1.0; empty-vs-nonempty as 0.0.
+    """
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def edit_similarity_at_least(a: str, b: str, threshold: float) -> bool:
+    """Whether ``edit_similarity(a, b) >= threshold``, with banded early exit."""
+    if not a and not b:
+        return True
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return True
+    allowed = int((1.0 - threshold) * longest)
+    return levenshtein(a, b, max_distance=allowed) <= allowed
+
+
+__all__ = ["levenshtein", "edit_similarity", "edit_similarity_at_least"]

@@ -1,0 +1,66 @@
+"""Jaro and Jaro-Winkler string similarity.
+
+Not used by the paper's headline match function (which is edit-distance
+based) but provided as an alternative comparator for short name-like
+attributes, where Jaro-Winkler is the standard choice in the ER literature.
+"""
+
+from __future__ import annotations
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1]."""
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    window = max(la, lb) // 2 - 1
+    if window < 0:
+        window = 0
+    match_a = [False] * la
+    match_b = [False] * lb
+
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not match_b[j] and b[j] == ch:
+                match_a[i] = True
+                match_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if match_a[i]:
+            while not match_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+
+    return (
+        matches / la + matches / lb + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, *, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by the common prefix length."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError(f"prefix_scale must be in [0, 0.25], got {prefix_scale}")
+    base = jaro(a, b)
+    prefix = 0
+    for ca, cb in zip(a, b):
+        if ca != cb or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+__all__ = ["jaro", "jaro_winkler"]

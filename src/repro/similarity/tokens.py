@@ -1,0 +1,59 @@
+"""Token- and q-gram-based similarity.
+
+Alternatives to edit distance for long or reordered values (author lists,
+abstracts): word-token Jaccard is robust to word order; q-gram Jaccard is
+robust to small edits while staying near-linear in string length.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+
+def word_tokens(text: str) -> FrozenSet[str]:
+    """Lower-cased whitespace tokens of ``text``, stripped of surrounding
+    punctuation ("smith," and "smith" are the same author token)."""
+    tokens = (token.strip(".,;:!?()[]'\"") for token in text.lower().split())
+    return frozenset(token for token in tokens if token)
+
+
+def qgrams(text: str, q: int = 2, *, pad: bool = True) -> FrozenSet[str]:
+    """The q-gram set of ``text``.
+
+    With ``pad`` (the standard construction) the string is wrapped in
+    ``q - 1`` sentinel characters on each side, so leading/trailing
+    characters weigh as much as inner ones.
+    """
+    if q < 1:
+        raise ValueError(f"q must be at least 1, got {q}")
+    if not text:
+        return frozenset()
+    if pad and q > 1:
+        sentinel = "\x00" * (q - 1)
+        text = f"{sentinel}{text}{sentinel}"
+    if len(text) < q:
+        return frozenset({text})
+    return frozenset(text[i : i + q] for i in range(len(text) - q + 1))
+
+
+def jaccard(a: Set[str] | FrozenSet[str], b: Set[str] | FrozenSet[str]) -> float:
+    """Jaccard coefficient of two sets (1.0 when both are empty)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Word-token Jaccard similarity of two strings."""
+    return jaccard(word_tokens(a), word_tokens(b))
+
+
+def qgram_jaccard(a: str, b: str, q: int = 2) -> float:
+    """q-gram Jaccard similarity of two strings."""
+    return jaccard(qgrams(a, q), qgrams(b, q))
+
+
+__all__ = ["word_tokens", "qgrams", "jaccard", "token_jaccard", "qgram_jaccard"]

@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import Dataset
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "ds.csv"
+        code = main(
+            ["generate", "--family", "citeseer", "--size", "120", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        loaded = Dataset.from_csv(out)
+        assert len(loaded) == 120
+        assert loaded.has_ground_truth
+        assert "wrote 120" in capsys.readouterr().out
+
+    def test_books_family(self, tmp_path):
+        out = tmp_path / "books.csv"
+        assert main(["generate", "--family", "books", "--size", "80", "--out", str(out)]) == 0
+        assert len(Dataset.from_csv(out)) == 80
+
+
+class TestRun:
+    def test_ours_on_generated_dataset(self, capsys):
+        code = main(
+            ["run", "--family", "citeseer", "--size", "300", "--machines", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ours" in out
+        assert "final recall" in out
+
+    def test_basic_with_threshold(self, capsys):
+        code = main(
+            [
+                "run", "--family", "citeseer", "--size", "300",
+                "--machines", "2", "--approach", "basic", "--threshold", "0.05",
+            ]
+        )
+        assert code == 0
+        assert "basic[0.05]" in capsys.readouterr().out
+
+    def test_run_from_csv(self, tmp_path, capsys):
+        out = tmp_path / "ds.csv"
+        main(["generate", "--family", "citeseer", "--size", "250", "--out", str(out)])
+        code = main(
+            ["run", "--dataset", str(out), "--family", "citeseer", "--machines", "2"]
+        )
+        assert code == 0
+
+    @pytest.mark.parametrize("approach", ["nosplit", "lpt"])
+    def test_scheduler_variants(self, approach, capsys):
+        code = main(
+            [
+                "run", "--family", "citeseer", "--size", "300",
+                "--machines", "2", "--approach", approach,
+            ]
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_table_output(self, capsys):
+        code = main(
+            [
+                "compare", "--family", "citeseer", "--size", "300",
+                "--machines", "2", "--threshold", "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ours" in out
+        assert "basic[F]" in out
+        assert "basic[0.05]" in out
+
+    def test_chart_output(self, capsys):
+        code = main(
+            [
+                "compare", "--family", "citeseer", "--size", "300",
+                "--machines", "2", "--chart",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "o=ours" in out
+        assert "recall vs time" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["generate"])

@@ -1,0 +1,83 @@
+"""Unit and property tests for union-find / transitive closure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.clustering import UnionFind, transitive_closure
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind()
+        assert uf.find(1) != uf.find(2)
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        assert uf.union(1, 2)
+        assert uf.find(1) == uf.find(2)
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert not uf.union(1, 2)
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.find(1) == uf.find(3)
+
+    def test_groups_exclude_singletons(self):
+        uf = UnionFind()
+        uf.find(9)
+        uf.union(1, 2)
+        assert uf.groups() == [[1, 2]]
+
+
+class TestTransitiveClosure:
+    def test_chains_merge(self):
+        clusters = transitive_closure([(1, 2), (2, 3), (5, 6)])
+        assert clusters == [[1, 2, 3], [5, 6]]
+
+    def test_empty(self):
+        assert transitive_closure([]) == []
+
+    def test_paper_model_clusters_are_disjoint(self):
+        clusters = transitive_closure([(1, 2), (3, 4), (2, 3), (7, 8)])
+        seen = set()
+        for group in clusters:
+            assert not (seen & set(group))
+            seen |= set(group)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=60,
+        )
+    )
+    def test_every_pair_ends_up_in_one_cluster(self, pairs):
+        clusters = transitive_closure(pairs)
+        membership = {}
+        for index, group in enumerate(clusters):
+            for item in group:
+                membership[item] = index
+        for a, b in pairs:
+            assert membership[a] == membership[b]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=40,
+        )
+    )
+    def test_deterministic_and_sorted(self, pairs):
+        a = transitive_closure(pairs)
+        b = transitive_closure(pairs)
+        assert a == b
+        for group in a:
+            assert group == sorted(group)

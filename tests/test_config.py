@@ -1,0 +1,107 @@
+"""Unit tests for the approach configuration and weighting functions."""
+
+import pytest
+
+from repro.blocking import Block, citeseer_scheme
+from repro.core.config import (
+    ApproachConfig,
+    LevelPolicy,
+    books_config,
+    citeseer_config,
+    exponential_weights,
+    linear_weights,
+    make_budget_weighting,
+)
+
+
+def _block(level, *, root=False, leaf=False, size=10):
+    block = Block(family="X", level=level, key="k", entity_ids=(), size_override=size)
+    if not root:
+        parent = Block(family="X", level=1, key="p", entity_ids=(), size_override=size * 2)
+        parent.add_child(block)
+    if not leaf:
+        child = Block(
+            family="X", level=level + 1, key="c", entity_ids=(), size_override=2
+        )
+        block.add_child(child)
+    return block
+
+
+class TestLevelPolicy:
+    def test_paper_windows(self):
+        policy = LevelPolicy()
+        assert policy.window_of(_block(1, root=True)) == 15
+        assert policy.window_of(_block(2)) == 10
+        assert policy.window_of(_block(3, leaf=True)) == 5
+
+    def test_paper_fracs(self):
+        policy = LevelPolicy(leaf_frac=0.8, mid_frac=0.9)
+        assert policy.frac_of(_block(1, root=True)) == 1.0
+        assert policy.frac_of(_block(2)) == 0.9
+        assert policy.frac_of(_block(3, leaf=True)) == 0.8
+
+    def test_threshold_is_block_size(self):
+        policy = LevelPolicy()
+        assert policy.threshold_of(_block(2, size=37)) == 37
+
+
+class TestWeightingFunctions:
+    def test_linear_decreasing(self):
+        values = [linear_weights(i, 10) for i in range(10)]
+        assert values[0] == 1.0
+        assert values == sorted(values, reverse=True)
+        assert all(0 < v <= 1 for v in values)
+
+    def test_exponential_halves(self):
+        assert exponential_weights(0, 5) == 1.0
+        assert exponential_weights(1, 5) == 0.5
+        assert exponential_weights(3, 5) == 0.125
+
+    def test_budget_weighting_step(self):
+        weighting = make_budget_weighting(0.5)
+        values = [weighting(i, 10) for i in range(10)]
+        assert values[:5] == [1.0] * 5
+        assert all(v < 0.01 for v in values[5:])
+
+    def test_budget_weighting_validation(self):
+        with pytest.raises(ValueError):
+            make_budget_weighting(0.0)
+        with pytest.raises(ValueError):
+            make_budget_weighting(1.5)
+
+
+class TestApproachConfig:
+    def test_presets_match_paper(self):
+        citeseer = citeseer_config()
+        assert citeseer.mechanism.name == "sn-hint"
+        assert citeseer.levels.leaf_frac == 0.8
+        assert citeseer.levels.mid_frac == 0.9
+        books = books_config()
+        assert books.mechanism.name == "psnm"
+        assert books.levels.leaf_frac == 0.85
+        assert books.levels.mid_frac == 0.95
+
+    def test_sort_attribute_follows_blocking_function(self):
+        config = citeseer_config()
+        assert config.sort_attribute("X") == "title"
+        assert config.sort_attribute("Y") == "abstract"
+        assert config.sort_attribute("Z") == "venue"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            citeseer_config(num_intervals=0)
+        with pytest.raises(ValueError):
+            citeseer_config(split_batch=0)
+        with pytest.raises(ValueError):
+            citeseer_config(train_fraction=0.0)
+        with pytest.raises(ValueError):
+            citeseer_config(estimator="magic")
+
+    def test_overrides_apply(self):
+        config = citeseer_config(alpha=50.0, estimator="oracle")
+        assert config.alpha == 50.0
+        assert config.estimator == "oracle"
+
+    def test_redundancy_toggle_default_on(self):
+        assert citeseer_config().redundancy_free is True
+        assert citeseer_config(redundancy_free=False).redundancy_free is False

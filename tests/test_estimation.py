@@ -1,0 +1,214 @@
+"""Unit tests for duplicate and cost estimation (Equations 2-5)."""
+
+import pytest
+
+from repro.blocking import Block, citeseer_scheme
+from repro.core.config import citeseer_config
+from repro.core.estimation import (
+    FRACTION_BINS,
+    EstimationModel,
+    LearnedEstimator,
+    OracleEstimator,
+    UniformEstimator,
+    _fraction_bin,
+)
+from repro.data import Dataset, Entity
+from repro.mapreduce import CostModel
+from repro.mechanisms import window_pairs_count
+
+
+def _tree():
+    """root(10) -> [mid(6) -> leaf(3), leaf2(2)]"""
+    root = Block(family="X", level=1, key="r", entity_ids=(), size_override=10)
+    mid = Block(family="X", level=2, key="rm", entity_ids=(), size_override=6)
+    leaf = Block(family="X", level=3, key="rml", entity_ids=(), size_override=3)
+    leaf2 = Block(family="X", level=2, key="rl", entity_ids=(), size_override=2)
+    root.add_child(mid)
+    mid.add_child(leaf)
+    root.add_child(leaf2)
+    return root, mid, leaf, leaf2
+
+
+def _model(estimator, dataset_size=100):
+    config = citeseer_config()
+    return EstimationModel(
+        config, CostModel(), estimator, dataset_size, avg_cost_factor=1.0
+    )
+
+
+def _coverage(root):
+    # Full coverage (no dominating overlap) for the synthetic tree.
+    return {b.uid: b.total_pairs for b in root.subtree()}
+
+
+class TestFractionBins:
+    def test_bins_are_increasing(self):
+        assert list(FRACTION_BINS) == sorted(FRACTION_BINS)
+
+    def test_extremes(self):
+        assert _fraction_bin(0.0) == 0
+        assert _fraction_bin(1.0) == len(FRACTION_BINS) - 1
+
+    def test_mid_bin(self):
+        assert FRACTION_BINS[_fraction_bin(0.002)] >= 0.002
+
+
+class TestUniformEstimator:
+    def test_estimate_scales_with_pairs(self):
+        est = UniformEstimator(0.1)
+        block = Block(family="X", level=1, key="a", entity_ids=(), size_override=10)
+        assert est.estimate(block, cov=45, dataset_size=100) == pytest.approx(4.5)
+
+    def test_clamped_to_coverage(self):
+        est = UniformEstimator(1.0)
+        block = Block(family="X", level=1, key="a", entity_ids=(), size_override=10)
+        assert est.estimate(block, cov=3, dataset_size=100) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformEstimator(1.5)
+
+
+class TestLearnedEstimator:
+    def test_requires_ground_truth(self):
+        ds = Dataset(entities=[Entity(id=0, attrs={"title": "ab"})])
+        with pytest.raises(ValueError):
+            LearnedEstimator().fit(ds, citeseer_scheme())
+
+    def test_requires_fit_before_use(self):
+        with pytest.raises(RuntimeError):
+            LearnedEstimator().probability("X", 1, 0.5)
+
+    def test_learns_size_dependence(self, citeseer_medium):
+        training = citeseer_medium.sample(0.4, seed=1)
+        learned = LearnedEstimator().fit(training, citeseer_scheme())
+        # Smaller blocks should carry a duplicate probability at least as
+        # high as huge blocks (the paper's observation in VI-A4).
+        small = learned.probability("X", 3, 0.002)
+        huge = learned.probability("X", 1, 0.4)
+        assert small >= huge
+
+    def test_probabilities_in_range(self, citeseer_small):
+        learned = LearnedEstimator().fit(citeseer_small, citeseer_scheme())
+        for fraction in (1e-5, 1e-3, 0.05, 0.5, 1.0):
+            for family in ("X", "Y", "Z"):
+                assert 0.0 <= learned.probability(family, 1, fraction) <= 1.0
+
+
+class TestOracleEstimator:
+    def test_counts_true_pairs(self):
+        entities = [Entity(id=i, attrs={"title": "same title"}) for i in range(4)]
+        ds = Dataset(entities=entities, clusters={0: 0, 1: 0, 2: 1, 3: 2})
+        scheme = citeseer_scheme()
+        oracle = OracleEstimator().fit(ds, scheme)
+        block = Block(
+            family="X", level=1, key="sa", entity_ids=(0, 1, 2, 3)
+        )
+        # Only pair (0, 1) is a true duplicate.
+        assert oracle.estimate(block, cov=6, dataset_size=4) == 1.0
+
+
+class TestEquations:
+    def test_leaf_dup_is_frac_times_d(self):
+        root, mid, leaf, leaf2 = _tree()
+        estimator = UniformEstimator(0.2)
+        model = _model(estimator)
+        model.estimate_tree(root, _coverage(root))
+        est = model.estimates[leaf.uid]
+        # Equation 2 with no children: Dup = Frac * d.
+        assert est.dup == pytest.approx(est.frac * est.d)
+
+    def test_parent_dup_subtracts_children(self):
+        root, mid, leaf, leaf2 = _tree()
+        model = _model(UniformEstimator(0.2))
+        model.estimate_tree(root, _coverage(root))
+        mid_est = model.estimates[mid.uid]
+        leaf_est = model.estimates[leaf.uid]
+        expected = max(
+            0.0, mid_est.frac * mid_est.d - leaf_est.frac * leaf_est.d
+        )
+        assert mid_est.dup == pytest.approx(expected)
+
+    def test_root_frac_is_one_and_full(self):
+        root, *_ = _tree()
+        model = _model(UniformEstimator(0.2))
+        model.estimate_tree(root, _coverage(root))
+        est = model.estimates[root.uid]
+        assert est.frac == 1.0
+        assert est.full
+
+    def test_dis_bounded_by_threshold(self):
+        root, mid, leaf, leaf2 = _tree()
+        model = _model(UniformEstimator(0.01))
+        model.estimate_tree(root, _coverage(root))
+        for block in (mid, leaf, leaf2):
+            est = model.estimates[block.uid]
+            assert est.dis <= est.th  # Th(X) = |X| per Section VI-A5
+            assert est.th == block.size
+
+    def test_cost_positive_and_utility_consistent(self):
+        root, *_ = _tree()
+        model = _model(UniformEstimator(0.2))
+        model.estimate_tree(root, _coverage(root))
+        for block in root.subtree():
+            est = model.estimates[block.uid]
+            assert est.cost > 0
+            assert est.util == pytest.approx(est.dup / est.cost)
+
+    def test_windows_follow_level_policy(self):
+        root, mid, leaf, leaf2 = _tree()
+        model = _model(UniformEstimator(0.2))
+        model.estimate_tree(root, _coverage(root))
+        assert model.estimates[root.uid].window == 15
+        assert model.estimates[mid.uid].window == 10
+        assert model.estimates[leaf.uid].window == 5
+        assert model.estimates[leaf2.uid].window == 5
+
+
+class TestSplitUpdates:
+    def test_split_makes_child_full_root(self):
+        root, mid, leaf, leaf2 = _tree()
+        model = _model(UniformEstimator(0.2))
+        coverage = _coverage(root)
+        model.estimate_tree(root, coverage)
+        model.apply_split(root, mid)
+        assert mid.is_root
+        child_est = model.estimates[mid.uid]
+        assert child_est.full
+        assert child_est.frac == 1.0
+        assert child_est.window == 15
+
+    def test_split_reduces_parent_coverage(self):
+        root, mid, leaf, leaf2 = _tree()
+        model = _model(UniformEstimator(0.2))
+        model.estimate_tree(root, _coverage(root))
+        cov_before = model.estimates[root.uid].cov
+        child_cov = model.estimates[mid.uid].cov
+        model.apply_split(root, mid)
+        assert model.estimates[root.uid].cov == pytest.approx(cov_before - child_cov)
+
+    def test_split_increases_child_cost(self):
+        root, mid, leaf, leaf2 = _tree()
+        model = _model(UniformEstimator(0.2))
+        model.estimate_tree(root, _coverage(root))
+        cost_before = model.estimates[mid.uid].cost
+        model.apply_split(root, mid)
+        # Full resolution costs at least as much as the Th-bounded one here.
+        assert model.estimates[mid.uid].cost >= cost_before * 0.5
+
+    def test_split_decreases_parent_dup(self):
+        root, mid, leaf, leaf2 = _tree()
+        model = _model(UniformEstimator(0.2))
+        model.estimate_tree(root, _coverage(root))
+        dup_before = model.estimates[root.uid].dup
+        model.apply_split(root, mid)
+        assert model.estimates[root.uid].dup <= dup_before + 1e-9
+
+    def test_split_cost_preview_matches_actual(self):
+        root, mid, leaf, leaf2 = _tree()
+        model = _model(UniformEstimator(0.2))
+        model.estimate_tree(root, _coverage(root))
+        # Preview the cost of keeping only leaf2 (i.e. splitting mid off).
+        preview = model.split_cost_preview(root, [leaf2])
+        model.apply_split(root, mid)
+        assert model.estimates[root.uid].cost == pytest.approx(preview)

@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.data import (
+    GeneratorConfig,
+    make_books,
+    make_citeseer,
+)
+from repro.data.books import books_perturber
+from repro.data.citeseer import citeseer_perturber
+from repro.data.generator import generate_dataset
+
+
+class TestGeneratorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_entities=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_entities=10, duplicate_ratio=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_entities=10, extra_copy_p=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_entities=10, max_cluster=1)
+
+
+class TestGeneratedDatasets:
+    def test_exact_entity_count(self):
+        ds = make_citeseer(500, seed=1)
+        assert len(ds) == 500
+
+    def test_ids_are_dense(self):
+        ds = make_citeseer(300, seed=2)
+        assert sorted(e.id for e in ds) == list(range(300))
+
+    def test_ground_truth_covers_every_entity(self):
+        ds = make_citeseer(300, seed=2)
+        assert set(ds.clusters) == {e.id for e in ds}
+
+    def test_deterministic_per_seed(self):
+        a = make_citeseer(200, seed=5)
+        b = make_citeseer(200, seed=5)
+        assert [e.attrs for e in a] == [e.attrs for e in b]
+        assert a.clusters == b.clusters
+
+    def test_different_seeds_differ(self):
+        a = make_citeseer(200, seed=5)
+        b = make_citeseer(200, seed=6)
+        assert [e.attrs for e in a] != [e.attrs for e in b]
+
+    def test_duplicate_ratio_produces_pairs(self):
+        ds = make_citeseer(1000, seed=1, duplicate_ratio=0.4)
+        assert ds.num_true_pairs > 100
+
+    def test_zero_duplicate_ratio(self):
+        ds = make_citeseer(200, seed=1, duplicate_ratio=0.0)
+        assert ds.num_true_pairs == 0
+
+    def test_cluster_sizes_respect_cap(self):
+        config = GeneratorConfig(num_entities=800, duplicate_ratio=0.8, max_cluster=3, seed=1)
+        ds = generate_dataset("t", config, lambda rng: {"a": "v"}, citeseer_perturber())
+        from collections import Counter
+
+        sizes = Counter(ds.clusters.values())
+        assert max(sizes.values()) <= 3
+
+    def test_citeseer_schema(self):
+        ds = make_citeseer(100, seed=1)
+        base = ds.entities[0]
+        assert set(base.attrs) <= {"title", "abstract", "venue", "authors", "year"}
+        # Title is never dropped by the noise model.
+        assert all(e.get("title") for e in ds)
+
+    def test_books_schema_has_eight_attributes(self):
+        ds = make_books(100, seed=1)
+        all_attrs = set()
+        for e in ds:
+            all_attrs |= set(e.attrs)
+        assert all_attrs == {
+            "title", "authors", "publisher", "year",
+            "isbn", "pages", "language", "format",
+        }
+
+    def test_duplicates_share_protected_title_prefix(self):
+        ds = make_citeseer(600, seed=4)
+        for a, b in list(ds.true_pairs)[:200]:
+            ta, tb = ds.entity(a).get("title"), ds.entity(b).get("title")
+            assert ta[:6] == tb[:6]
+
+    def test_title_block_sizes_are_skewed(self):
+        ds = make_citeseer(2000, seed=7)
+        from collections import Counter
+
+        counts = Counter(e.get("title")[:2] for e in ds)
+        top = counts.most_common(1)[0][1]
+        # A Zipf head: the biggest 2-char prefix block holds a large share.
+        assert top > len(ds) * 0.2
+
+    def test_books_number_fields_numeric(self):
+        ds = make_books(100, seed=1)
+        base = ds.entities[0]
+        if base.get("year"):
+            assert base.get("year").isdigit() or len(base.get("year")) == 4

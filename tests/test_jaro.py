@@ -1,0 +1,53 @@
+"""Unit tests for Jaro / Jaro-Winkler similarity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.jaro import jaro, jaro_winkler
+
+words = st.text(alphabet="abcdef", min_size=0, max_size=20)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value_martha_marhta(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944444, abs=1e-5)
+
+    def test_known_value_dixon_dicksonx(self):
+        assert jaro("dixon", "dicksonx") == pytest.approx(0.766667, abs=1e-5)
+
+    def test_disjoint_strings(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro("", "abc") == 0.0
+
+    @given(words, words)
+    def test_range_and_symmetry(self, a, b):
+        s = jaro(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(jaro(b, a))
+
+
+class TestJaroWinkler:
+    def test_known_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.961111, abs=1e-5)
+
+    def test_prefix_boost_helps(self):
+        # Same Jaro, but the shared prefix boosts the first pair.
+        assert jaro_winkler("prefixed", "prefixxx") > jaro("prefixed", "prefixxx")
+
+    def test_prefix_scale_validation(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(words, words)
+    def test_at_least_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+    @given(words, words)
+    def test_range(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0 + 1e-12

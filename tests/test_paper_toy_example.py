@@ -1,0 +1,76 @@
+"""Tests built on the paper's own running examples (Table I, Figure 4)."""
+
+import pytest
+
+from repro.blocking import BlockingScheme, build_forests, prefix_function
+from repro.core.responsibility import uncovered_pairs
+from repro.core.statistics import run_statistics_job
+from repro.data.entity import pairs_count
+from repro.mapreduce import Cluster
+
+
+def _toy_scheme():
+    """Table I's functions: X1 = first two name characters, Y1 = state."""
+    return BlockingScheme(
+        families={
+            "X": [prefix_function("X", 1, "name", 2)],
+            "Y": [prefix_function("Y", 1, "state", 2)],
+        }
+    )
+
+
+class TestTableOne:
+    def test_x1_blocks(self, toy_people_dataset):
+        """X1 groups the toy people by the first two name characters.
+        Table I: X1 has five blocks; after pruning singletons the pruned
+        ones are mary(1)/william(1)/gharles(1)."""
+        forests = build_forests(toy_people_dataset, _toy_scheme())
+        x_blocks = {root.key: set(root.entity_ids) for root in forests["X"].roots}
+        assert x_blocks == {
+            "jo": {1, 2, 3, 9},   # John x3 + Joey
+            "ch": {4, 7},         # Charles + Chloe
+        }
+
+    def test_y1_blocks(self, toy_people_dataset):
+        """Y1 groups by state: HI {1,2}, AZ {3,6,7,8}, LA {4,5,9}."""
+        forests = build_forests(toy_people_dataset, _toy_scheme())
+        y_blocks = {root.key: set(root.entity_ids) for root in forests["Y"].roots}
+        assert y_blocks == {
+            "hi": {1, 2},
+            "az": {3, 6, 7, 8},
+            "la": {4, 5, 9},
+        }
+
+    def test_x1_spreads_the_charles_pair(self, toy_people_dataset):
+        """The paper's motivating flaw: X1 separates <e4, e5> because of the
+        Charles/Gharles typo; Y1 (state) reunites them."""
+        forests = build_forests(toy_people_dataset, _toy_scheme())
+        for root in forests["X"].roots:
+            assert not {4, 5} <= set(root.entity_ids)
+        la = next(r for r in forests["Y"].roots if r.key == "la")
+        assert {4, 5} <= set(la.entity_ids)
+
+    def test_y_overlap_statistics(self, toy_people_dataset):
+        """Y blocks must report how their entities overlap X main blocks."""
+        _, stats, _ = run_statistics_job(
+            Cluster(1), toy_people_dataset, _toy_scheme()
+        )
+        hi = stats.overlaps["Y1:hi"]
+        # e1, e2 are both in X block "jo".
+        assert hi == {("jo",): 2}
+        assert uncovered_pairs(hi, 1) == 1  # the <e1, e2> pair
+        la = stats.overlaps["Y1:la"]
+        # e4 -> "ch", e5 -> "gh" (pruned from X but the key remains),
+        # e9 -> "jo".
+        assert la == {("ch",): 1, ("gh",): 1, ("jo",): 1}
+        assert uncovered_pairs(la, 1) == 0
+
+
+class TestFigureFourNumbers:
+    def test_uncov_y1_from_figure4(self):
+        """Figure 4's caption: |Y1| = 30 with X-overlaps of 10 and 20 ->
+        Uncov(Y1) = Pairs(10) + Pairs(20) = 235, Cov = Pairs(30) - 235."""
+        histogram = {("x1",): 10, ("x2",): 20}
+        uncov = uncovered_pairs(histogram, 1)
+        assert uncov == 235
+        assert pairs_count(30) - uncov == 200

@@ -1,0 +1,78 @@
+"""Tests for the census-style people dataset family."""
+
+import pytest
+
+from repro.blocking import people_scheme
+from repro.core import ProgressiveER, people_config
+from repro.data import make_people
+from repro.evaluation import make_cluster
+from repro.similarity.matchers import people_matcher
+
+
+@pytest.fixture(scope="module")
+def people_small():
+    return make_people(600, seed=13)
+
+
+@pytest.fixture(scope="module")
+def people_cached_matcher():
+    return people_matcher(cache=True)
+
+
+class TestPeopleData:
+    def test_schema(self, people_small):
+        attrs = set()
+        for e in people_small:
+            attrs |= set(e.attrs)
+        assert attrs == {
+            "name", "surname", "street", "city", "state", "zip",
+            "birth_year", "phone",
+        }
+
+    def test_ground_truth_present(self, people_small):
+        assert people_small.num_true_pairs > 50
+
+    def test_deterministic(self):
+        a = make_people(150, seed=5)
+        b = make_people(150, seed=5)
+        assert [e.attrs for e in a] == [e.attrs for e in b]
+
+    def test_state_is_rarely_perturbed(self, people_small):
+        """Like Table I: duplicates usually agree on state."""
+        same = 0
+        checked = 0
+        for a, b in list(people_small.true_pairs)[:200]:
+            sa = people_small.entity(a).get("state")
+            sb = people_small.entity(b).get("state")
+            if sa and sb:
+                checked += 1
+                same += sa == sb
+        assert checked > 0
+        assert same / checked > 0.8
+
+
+class TestPeopleScheme:
+    def test_families_and_dominance(self):
+        scheme = people_scheme()
+        assert scheme.family_order == ["X", "Y", "Z"]
+        assert scheme.main_function("X").description == "surname.sub(0, 2)"
+        assert scheme.main_function("Z").description == "state.sub(0, 2)"
+        assert scheme.depth("Z") == 0  # state cannot be meaningfully refined
+
+    def test_matcher_shape(self):
+        matcher = people_matcher()
+        assert len(matcher.rules) == 8
+        comparators = {r.comparator for r in matcher.rules}
+        assert comparators == {"edit", "exact"}
+
+
+class TestPeoplePipeline:
+    def test_end_to_end(self, people_small, people_cached_matcher):
+        config = people_config(matcher=people_cached_matcher)
+        result = ProgressiveER(config, make_cluster(2)).run(people_small)
+        recall = len(result.found_pairs & people_small.true_pairs)
+        assert recall / people_small.num_true_pairs > 0.6
+        precision = len(result.found_pairs & people_small.true_pairs) / len(
+            result.found_pairs
+        )
+        assert precision > 0.85

@@ -1,0 +1,117 @@
+"""Unit tests for the noise model."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.perturb import (
+    NoiseProfile,
+    Perturber,
+    swap_words,
+    truncate,
+    typo_delete,
+    typo_insert,
+    typo_substitute,
+    typo_transpose,
+)
+
+text_strategy = st.text(alphabet="abcdefgh xyz", min_size=0, max_size=30)
+
+
+class TestTypoOperations:
+    @given(text_strategy, st.integers(0, 2**30))
+    def test_substitute_preserves_length(self, text, seed):
+        rng = random.Random(seed)
+        assert len(typo_substitute(rng, text)) == len(text)
+
+    @given(text_strategy, st.integers(0, 2**30))
+    def test_delete_shrinks_by_one(self, text, seed):
+        rng = random.Random(seed)
+        result = typo_delete(rng, text)
+        if len(text) <= 1:
+            assert result == text
+        else:
+            assert len(result) == len(text) - 1
+
+    @given(text_strategy, st.integers(0, 2**30))
+    def test_insert_grows_by_one(self, text, seed):
+        rng = random.Random(seed)
+        assert len(typo_insert(rng, text)) == len(text) + 1
+
+    @given(text_strategy, st.integers(0, 2**30))
+    def test_transpose_is_permutation(self, text, seed):
+        rng = random.Random(seed)
+        result = typo_transpose(rng, text)
+        assert sorted(result) == sorted(text)
+
+    @given(text_strategy, st.integers(0, 2**30))
+    def test_swap_words_preserves_words(self, text, seed):
+        rng = random.Random(seed)
+        assert sorted(swap_words(rng, text).split()) == sorted(text.split())
+
+    @given(text_strategy, st.integers(0, 2**30))
+    def test_truncate_is_prefix(self, text, seed):
+        rng = random.Random(seed)
+        result = truncate(rng, text)
+        assert text.startswith(result) or result == text.rstrip() or text[: len(result)] == result
+
+
+class TestNoiseProfile:
+    def test_protect_prefix_never_edited(self):
+        profile = NoiseProfile(
+            typo_rate=5.0, truncate_prob=1.0, swap_prob=1.0,
+            missing_prob=0.0, protect_prefix=4, apply_prob=1.0,
+        )
+        perturber = Perturber({"title": profile})
+        rng = random.Random(5)
+        for _ in range(50):
+            dirty = perturber.perturb_value(rng, "title", "abcdef ghij")
+            assert dirty is not None
+            assert dirty.startswith("abcd")
+
+    def test_missing_prob_one_drops_value(self):
+        perturber = Perturber({"a": NoiseProfile(missing_prob=1.0)})
+        rng = random.Random(0)
+        assert perturber.perturb_value(rng, "a", "value") is None
+
+    def test_apply_prob_zero_copies_verbatim(self):
+        profile = NoiseProfile(typo_rate=10.0, missing_prob=0.0, apply_prob=0.0)
+        perturber = Perturber({"a": profile})
+        rng = random.Random(0)
+        for _ in range(20):
+            assert perturber.perturb_value(rng, "a", "clean value") == "clean value"
+
+    def test_zero_noise_profile_is_identity(self):
+        profile = NoiseProfile(
+            typo_rate=0.0, truncate_prob=0.0, swap_prob=0.0, missing_prob=0.0
+        )
+        perturber = Perturber({"a": profile})
+        rng = random.Random(1)
+        assert perturber.perturb_value(rng, "a", "same") == "same"
+
+    def test_default_profile_used_for_unknown_attribute(self):
+        default = NoiseProfile(missing_prob=1.0)
+        perturber = Perturber({}, default=default)
+        assert perturber.profile_for("anything") is default
+
+
+class TestPerturbRecord:
+    def test_record_drops_missing_values(self):
+        perturber = Perturber(
+            {
+                "keep": NoiseProfile(typo_rate=0, truncate_prob=0, swap_prob=0, missing_prob=0),
+                "drop": NoiseProfile(missing_prob=1.0),
+            }
+        )
+        rng = random.Random(2)
+        dirty = perturber.perturb_record(rng, {"keep": "v1", "drop": "v2"})
+        assert dirty == {"keep": "v1"}
+
+    def test_deterministic_given_seed(self):
+        perturber = Perturber({"a": NoiseProfile(typo_rate=2.0)})
+        record = {"a": "hello world example"}
+        out1 = perturber.perturb_record(random.Random(42), dict(record))
+        out2 = perturber.perturb_record(random.Random(42), dict(record))
+        assert out1 == out2

@@ -1,0 +1,92 @@
+"""Unit tests for the dataset profiler."""
+
+import pytest
+
+from repro.data import Dataset, Entity, make_citeseer
+from repro.data.profile import (
+    format_profile,
+    profile_attribute,
+    profile_dataset,
+    profile_prefix_blocking,
+    suggest_blocking_order,
+)
+
+
+def _dataset():
+    entities = [
+        Entity(id=0, attrs={"name": "The Graph", "state": "AZ"}),
+        Entity(id=1, attrs={"name": "the grape", "state": "AZ"}),
+        Entity(id=2, attrs={"name": "thin ice", "state": "LA"}),
+        Entity(id=3, attrs={"name": "a map"}),
+        Entity(id=4, attrs={"name": "a mop", "state": "LA"}),
+        Entity(id=5, attrs={"state": "HI"}),
+    ]
+    return Dataset(entities=entities, name="toy")
+
+
+class TestAttributeProfile:
+    def test_missing_rate(self):
+        profile = profile_attribute(_dataset(), "state")
+        assert profile.present == 5
+        assert profile.missing_rate == pytest.approx(1 / 6)
+
+    def test_distinct_normalized(self):
+        profile = profile_attribute(_dataset(), "name")
+        # "The Graph" normalizes to "the graph": 5 distinct values.
+        assert profile.distinct == 5
+
+    def test_mean_length(self):
+        profile = profile_attribute(_dataset(), "state")
+        assert profile.mean_length == pytest.approx(2.0)
+
+    def test_fully_missing_attribute(self):
+        profile = profile_attribute(_dataset(), "bogus")
+        assert profile.present == 0
+        assert profile.missing_rate == 1.0
+        assert profile.mean_length == 0.0
+
+
+class TestPrefixBlockingProfile:
+    def test_blocks_and_largest(self):
+        blocking = profile_prefix_blocking(_dataset(), "name", 2)
+        # Prefix-2 groups: "th" x3, "a " x2 -> 2 blocks, largest 3.
+        assert blocking.num_blocks == 2
+        assert blocking.largest_block == 3
+        assert blocking.largest_share == pytest.approx(3 / 5)
+        assert blocking.comparison_pairs == 3 + 1
+
+    def test_singletons_excluded(self):
+        blocking = profile_prefix_blocking(_dataset(), "name", 20)
+        assert blocking.num_blocks == 0
+        assert blocking.largest_share == 0.0
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            profile_prefix_blocking(_dataset(), "name", 0)
+
+
+class TestDatasetProfile:
+    def test_covers_all_attributes(self):
+        profile = profile_dataset(_dataset(), prefix_lengths=(2,))
+        assert {a.name for a in profile.attributes} == {"name", "state"}
+        assert len(profile.blocking) == 2
+
+    def test_attribute_lookup(self):
+        profile = profile_dataset(_dataset())
+        assert profile.attribute("name").present == 5
+        with pytest.raises(KeyError):
+            profile.attribute("missing")
+
+    def test_format_renders_all_sections(self):
+        text = format_profile(profile_dataset(_dataset(), prefix_lengths=(2,)))
+        assert "name" in text and "state" in text
+        assert "name.sub(0, 2)" in text
+
+    def test_suggestion_prefers_title_over_venue_on_citeseer(self):
+        dataset = make_citeseer(800, seed=3)
+        profile = profile_dataset(dataset, prefix_lengths=(3,))
+        order = suggest_blocking_order(profile, length=3)
+        # Table II's dominance order puts title (X) above venue (Z); the
+        # heuristic must agree: many small title blocks beat few huge
+        # venue blocks.
+        assert order.index("title") < order.index("venue")

@@ -1,0 +1,131 @@
+"""Property tests for the matcher and the redundancy logic over random
+inputs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.redundancy import (
+    build_dominance_list,
+    missing_sentinel,
+    should_resolve,
+)
+from repro.data import Entity
+from repro.similarity import AttributeRule, WeightedMatcher
+
+attr_text = st.text(alphabet="abcdef ", min_size=0, max_size=20)
+
+
+def _entity(eid, title, venue):
+    attrs = {}
+    if title:
+        attrs["title"] = title
+    if venue:
+        attrs["venue"] = venue
+    return Entity(id=eid, attrs=attrs)
+
+
+def _matcher(cache=False):
+    return WeightedMatcher(
+        [
+            AttributeRule("title", weight=0.7, comparator="edit"),
+            AttributeRule("venue", weight=0.3, comparator="exact"),
+        ],
+        threshold=0.6,
+        cache=cache,
+    )
+
+
+class TestMatcherProperties:
+    @given(attr_text, attr_text, attr_text, attr_text)
+    @settings(max_examples=60)
+    def test_similarity_symmetric(self, t1, v1, t2, v2):
+        matcher = _matcher()
+        e1, e2 = _entity(1, t1, v1), _entity(2, t2, v2)
+        assert matcher.similarity(e1, e2) == pytest.approx(matcher.similarity(e2, e1))
+
+    @given(attr_text, attr_text)
+    @settings(max_examples=40)
+    def test_self_similarity_is_one_when_any_attr_present(self, t, v):
+        matcher = _matcher()
+        e1, e2 = _entity(1, t, v), _entity(2, t, v)
+        expected = 1.0 if (t or v) else 0.0
+        assert matcher.similarity(e1, e2) == pytest.approx(expected)
+
+    @given(attr_text, attr_text, attr_text, attr_text)
+    @settings(max_examples=40)
+    def test_cache_transparent(self, t1, v1, t2, v2):
+        plain, cached = _matcher(), _matcher(cache=True)
+        e1, e2 = _entity(1, t1, v1), _entity(2, t2, v2)
+        assert cached.similarity(e1, e2) == plain.similarity(e1, e2)
+        # Second call hits the cache and must return the identical value.
+        assert cached.similarity(e2, e1) == plain.similarity(e1, e2)
+
+    @given(attr_text, attr_text, attr_text, attr_text)
+    @settings(max_examples=40)
+    def test_cost_factor_positive(self, t1, v1, t2, v2):
+        matcher = _matcher()
+        assert matcher.comparison_cost_factor(_entity(1, t1, v1), _entity(2, t2, v2)) > 0
+
+
+dom_values = st.integers(0, 50)
+maybe_dom = st.one_of(st.none(), dom_values)
+
+
+class TestRedundancyProperties:
+    @given(
+        st.integers(0, 100),
+        st.integers(101, 200),
+        st.lists(st.booleans(), min_size=3, max_size=3),
+        st.lists(st.booleans(), min_size=3, max_size=3),
+        st.lists(st.booleans(), min_size=3, max_size=3),
+    )
+    @settings(max_examples=120)
+    def test_exactly_the_most_dominating_shared_family_resolves(
+        self, id1, id2, shared, blocked1, blocked2
+    ):
+        """Model a consistent world: per family, the pair either shares a
+        main tree or not (possibly because an entity is unblocked there).
+        SHOULD-RESOLVE must grant the pair to exactly the most dominating
+        family that shares it."""
+        n = 3
+        if not any(shared):
+            return
+        # Family f's tree dominance values: shared -> one common tree;
+        # not shared -> two distinct trees (or sentinels when unblocked).
+        def tree_entry(entity_id, family, blocked):
+            if shared[family]:
+                return 10 + family  # the common tree
+            if not blocked[family]:
+                return None  # unblocked -> sentinel inside the builder
+            # Distinct trees per entity (id ranges are disjoint).
+            return 100 + family * 10 + (0 if entity_id <= 100 else 1)
+
+        owners = []
+        for index in range(1, n + 1):
+            if not shared[index - 1]:
+                continue  # the pair never meets inside this family
+            l1 = build_dominance_list(
+                entity_id=id1, own_index=index, num_families=n,
+                family_trees=[tree_entry(id1, f, blocked1) for f in range(n)],
+                emitted_tree=10 + (index - 1),
+                split_descendant=None,
+            )
+            l2 = build_dominance_list(
+                entity_id=id2, own_index=index, num_families=n,
+                family_trees=[tree_entry(id2, f, blocked2) for f in range(n)],
+                emitted_tree=10 + (index - 1),
+                split_descendant=None,
+            )
+            if should_resolve(l1, l2, index, n):
+                owners.append(index)
+        expected_owner = shared.index(True) + 1
+        assert owners == [expected_owner]
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_sentinels_unique_per_entity(self, a, b):
+        if a == b:
+            assert missing_sentinel(a) == missing_sentinel(b)
+        else:
+            assert missing_sentinel(a) != missing_sentinel(b)

@@ -1,0 +1,76 @@
+"""Unit tests for the ASCII reporting helpers and the experiment harness."""
+
+import pytest
+
+from repro.baselines import BasicConfig
+from repro.blocking import citeseer_scheme
+from repro.evaluation import (
+    format_curves,
+    format_final_summary,
+    format_table,
+    run_basic,
+    run_progressive,
+    sample_times,
+)
+from repro.mechanisms import SortedNeighborHint
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="Table III")
+        assert text.splitlines()[0] == "Table III"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestSampleTimes:
+    def test_even_spacing(self):
+        times = sample_times(100.0, points=4)
+        assert times == [25.0, 50.0, 75.0, 100.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_times(10.0, points=0)
+
+
+class TestHarness:
+    def test_run_progressive_produces_labeled_curve(
+        self, citeseer_small, citeseer_cfg
+    ):
+        run = run_progressive(citeseer_small, citeseer_cfg, machines=2)
+        assert run.label == "ours[ours]"
+        assert run.final_recall > 0.5
+        assert run.total_time > 0
+
+    def test_run_basic_label_includes_threshold(
+        self, citeseer_small, shared_citeseer_matcher
+    ):
+        config = BasicConfig(
+            scheme=citeseer_scheme(),
+            matcher=shared_citeseer_matcher,
+            mechanism=SortedNeighborHint(),
+            window=15,
+            popcorn_threshold=0.1,
+        )
+        run = run_basic(citeseer_small, config, machines=2)
+        assert run.label == "basic[0.1]"
+
+    def test_format_curves_and_summary(self, citeseer_small, citeseer_cfg):
+        run = run_progressive(
+            citeseer_small, citeseer_cfg, machines=2, label="ours"
+        )
+        times = sample_times(run.total_time, points=3)
+        curves_text = format_curves([run], times, title="Fig")
+        assert "ours" in curves_text
+        assert len(curves_text.splitlines()) == 6  # title + hdr + rule + 3
+        summary = format_final_summary([run])
+        assert "ours" in summary

@@ -1,0 +1,120 @@
+"""Tests for schedule / result JSON serialization."""
+
+import pytest
+
+from repro.core import ProgressiveER, citeseer_config
+from repro.core.serialize import (
+    events_from_dict,
+    events_to_dict,
+    load_events,
+    load_schedule,
+    save_events,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.evaluation import make_cluster, recall_curve
+
+
+@pytest.fixture(scope="module")
+def run_result(request):
+    dataset = request.getfixturevalue("citeseer_small")
+    matcher = request.getfixturevalue("shared_citeseer_matcher")
+    config = citeseer_config(matcher=matcher)
+    return dataset, ProgressiveER(config, make_cluster(2)).run(dataset)
+
+
+class TestScheduleRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, run_result):
+        _, result = run_result
+        original = result.schedule
+        restored = schedule_from_dict(schedule_to_dict(original))
+
+        assert restored.num_tasks == original.num_tasks
+        assert restored.assignment == original.assignment
+        assert restored.block_order == original.block_order
+        assert restored.dominance == original.dominance
+        assert restored.sequence == original.sequence
+        assert restored.sequence_stride == original.sequence_stride
+        assert restored.cost_vector == original.cost_vector
+        assert restored.weights == original.weights
+        assert restored.generation_cost == original.generation_cost
+        assert restored.main_tree == original.main_tree
+        assert restored.split_roots == original.split_roots
+        assert set(restored.trees) == set(original.trees)
+        assert restored.tree_of_block == original.tree_of_block
+
+    def test_tree_structure_preserved(self, run_result):
+        _, result = run_result
+        restored = schedule_from_dict(schedule_to_dict(result.schedule))
+        for uid, block in result.schedule.blocks.items():
+            other = restored.blocks[uid]
+            assert other.size == block.size
+            assert [c.uid for c in other.children] == [c.uid for c in block.children]
+            parent_uid = block.parent.uid if block.parent else None
+            other_parent = other.parent.uid if other.parent else None
+            assert other_parent == parent_uid
+
+    def test_estimates_preserved(self, run_result):
+        _, result = run_result
+        restored = schedule_from_dict(schedule_to_dict(result.schedule))
+        for uid in result.schedule.blocks:
+            a = result.schedule.estimates[uid]
+            b = restored.estimates[uid]
+            assert (a.cov, a.dup, a.cost, a.util, a.full, a.th, a.window) == (
+                b.cov, b.dup, b.cost, b.util, b.full, b.th, b.window
+            )
+
+    def test_file_round_trip(self, run_result, tmp_path):
+        _, result = run_result
+        path = tmp_path / "schedule.json"
+        save_schedule(result.schedule, path)
+        restored = load_schedule(path)
+        assert restored.assignment == result.schedule.assignment
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_from_dict({"format": 999})
+
+    def test_restored_schedule_is_runnable(
+        self, run_result, shared_citeseer_matcher
+    ):
+        """A deserialized schedule drives Job 2 to identical results —
+        the deployment scenario: generate once, ship as JSON, execute."""
+        from repro.core.statistics import run_statistics_job
+
+        dataset, result = run_result
+        restored = schedule_from_dict(schedule_to_dict(result.schedule))
+        config = citeseer_config(matcher=shared_citeseer_matcher)
+        er = ProgressiveER(config, make_cluster(2))
+        annotated, _, job1 = run_statistics_job(
+            er.cluster, dataset, config.scheme
+        )
+        job2 = er._run_resolution_job(annotated, restored, job1.end_time)
+        found = {e.payload for e in job2.events if e.kind == "duplicate"}
+        assert found == result.found_pairs
+
+
+class TestEventArchive:
+    def test_round_trip(self, run_result):
+        dataset, result = run_result
+        data = events_to_dict(result.duplicate_events, total_time=result.total_time)
+        events, total = events_from_dict(data)
+        assert total == result.total_time
+        assert [(e.time, e.payload) for e in events] == [
+            (e.time, e.payload) for e in result.duplicate_events
+        ]
+
+    def test_file_round_trip_and_curve_equality(self, run_result, tmp_path):
+        dataset, result = run_result
+        path = tmp_path / "events.json"
+        save_events(result.duplicate_events, result.total_time, path)
+        events, total = load_events(path)
+        original = recall_curve(result.duplicate_events, dataset, end_time=result.total_time)
+        restored = recall_curve(events, dataset, end_time=total)
+        assert restored.times == original.times
+        assert restored.recalls == original.recalls
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            events_from_dict({"format": -1})

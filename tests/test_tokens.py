@@ -1,0 +1,105 @@
+"""Unit and property tests for token / q-gram similarity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import Entity
+from repro.similarity import (
+    AttributeRule,
+    jaccard,
+    qgram_jaccard,
+    qgrams,
+    token_jaccard,
+    word_tokens,
+)
+
+words = st.text(alphabet="abcdef ", min_size=0, max_size=30)
+
+
+class TestWordTokens:
+    def test_splits_and_lowercases(self):
+        assert word_tokens("The Quick  Fox") == {"the", "quick", "fox"}
+
+    def test_empty(self):
+        assert word_tokens("") == frozenset()
+
+
+class TestQgrams:
+    def test_padded_bigrams(self):
+        grams = qgrams("ab", q=2)
+        assert grams == {"\x00a", "ab", "b\x00"}
+
+    def test_unpadded(self):
+        assert qgrams("abc", q=2, pad=False) == {"ab", "bc"}
+
+    def test_short_string(self):
+        assert qgrams("a", q=3, pad=False) == {"a"}
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    @given(words, st.integers(1, 4))
+    def test_gram_count_bounded(self, text, q):
+        assert len(qgrams(text, q)) <= max(1, len(text) + q - 1)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_half(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+
+class TestStringSimilarities:
+    def test_token_jaccard_order_insensitive(self):
+        assert token_jaccard("john lopez", "lopez john") == 1.0
+
+    def test_qgram_robust_to_single_typo(self):
+        sim = qgram_jaccard("charles andrews", "gharles andrews")
+        assert sim > 0.7
+
+    @given(words, words)
+    def test_ranges_and_symmetry(self, a, b):
+        for fn in (token_jaccard, qgram_jaccard):
+            s = fn(a, b)
+            assert 0.0 <= s <= 1.0
+            assert s == pytest.approx(fn(b, a))
+
+    @given(words)
+    def test_identity(self, a):
+        assert token_jaccard(a, a) == 1.0
+        assert qgram_jaccard(a, a) == 1.0
+
+
+class TestMatcherIntegration:
+    def test_token_jaccard_comparator(self):
+        rule = AttributeRule("authors", weight=1.0, comparator="token_jaccard")
+        e1 = Entity(id=0, attrs={"authors": "mary gibson, john smith"})
+        e2 = Entity(id=1, attrs={"authors": "john smith, mary gibson"})
+        assert rule.similarity(e1, e2) == 1.0
+
+    def test_qgram_comparator(self):
+        rule = AttributeRule("title", weight=1.0, comparator="qgram")
+        e1 = Entity(id=0, attrs={"title": "progressive er"})
+        e2 = Entity(id=1, attrs={"title": "progresive er"})
+        assert rule.similarity(e1, e2) > 0.7
+
+    def test_token_rules_do_not_inflate_cost(self):
+        from repro.similarity import WeightedMatcher
+        from repro.similarity.matchers import MIN_COST_FACTOR
+
+        matcher = WeightedMatcher(
+            [AttributeRule("a", 1.0, comparator="token_jaccard")], threshold=0.5
+        )
+        e1 = Entity(id=0, attrs={"a": "x" * 500})
+        e2 = Entity(id=1, attrs={"a": "y" * 500})
+        assert matcher.comparison_cost_factor(e1, e2) == MIN_COST_FACTOR

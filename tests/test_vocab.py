@@ -1,0 +1,65 @@
+"""Tests for the vocabulary generators behind the synthetic datasets."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.data.vocab import (
+    TITLE_LEADS,
+    VENUES,
+    make_abstract,
+    make_author_list,
+    make_person,
+    make_title,
+    zipf_choice,
+)
+
+
+class TestZipfChoice:
+    def test_head_heavier_than_tail(self):
+        rng = random.Random(0)
+        counts = Counter(zipf_choice(rng, TITLE_LEADS, skew=1.5) for _ in range(5000))
+        head = counts[TITLE_LEADS[0]]
+        tail = counts[TITLE_LEADS[-1]]
+        assert head > tail * 3
+
+    def test_deterministic_with_seed(self):
+        a = [zipf_choice(random.Random(1), VENUES) for _ in range(5)]
+        b = [zipf_choice(random.Random(1), VENUES) for _ in range(5)]
+        assert a == b
+
+    def test_only_pool_members(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            assert zipf_choice(rng, VENUES) in VENUES
+
+
+class TestTextFactories:
+    def test_title_word_count(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            words = make_title(rng, min_words=3, max_words=8).split()
+            assert 3 <= len(words) <= 8
+
+    def test_title_starts_with_lead_word(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            assert make_title(rng).split()[0] in TITLE_LEADS
+
+    def test_person_has_two_names(self):
+        rng = random.Random(5)
+        assert len(make_person(rng).split()) == 2
+
+    def test_author_list_bounds(self):
+        rng = random.Random(6)
+        for _ in range(30):
+            authors = make_author_list(rng, max_authors=3).split(", ")
+            assert 1 <= len(authors) <= 3
+
+    def test_abstract_length_regime(self):
+        rng = random.Random(7)
+        lengths = [len(make_abstract(rng)) for _ in range(40)]
+        # Deliberately compact (see the docstring): well under the 350-char
+        # comparison cap, above trivial.
+        assert 40 < sum(lengths) / len(lengths) < 250
