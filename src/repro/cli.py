@@ -33,6 +33,7 @@ from .evaluation import (
     sample_times,
 )
 from .evaluation.charts import ascii_chart
+from .mapreduce import BACKENDS, make_executor
 from .mechanisms import PSNM, SortedNeighborHint
 
 _FAMILIES = ("citeseer", "books", "people")
@@ -64,6 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=None, help="Basic's popcorn threshold"
     )
     run.add_argument("--points", type=int, default=10, help="curve sample points")
+    _add_backend_options(run)
 
     compare = sub.add_parser("compare", help="ours vs the Basic baseline")
     _add_dataset_options(compare)
@@ -78,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--points", type=int, default=10)
     compare.add_argument("--chart", action="store_true", help="ASCII chart output")
+    _add_backend_options(compare)
 
     profile = sub.add_parser(
         "profile", help="profile a dataset's attributes and blocking keys"
@@ -91,6 +94,27 @@ def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--size", type=int, default=2000)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--dataset", default=None, help="CSV written by `generate`")
+
+
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="execution backend for the simulator's tasks (virtual-time "
+        "results are identical; `process` fans tasks out to worker "
+        "processes for wall-clock speed)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend process (default: CPU count)",
+    )
+
+
+def _make_backend(args: argparse.Namespace):
+    return make_executor(getattr(args, "backend", "serial"), getattr(args, "workers", None))
 
 
 _MAKERS = {"citeseer": make_citeseer, "books": make_books, "people": make_people}
@@ -132,15 +156,17 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
+    executor = _make_backend(args)
     if args.approach == "basic":
         config = _basic_config(args.family, args.window, args.threshold)
-        run = run_basic(dataset, config, args.machines)
+        run = run_basic(dataset, config, args.machines, executor=executor)
     else:
         run = run_progressive(
             dataset,
             _progressive_config(args.family),
             args.machines,
             strategy=args.approach,
+            executor=executor,
         )
     times = sample_times(run.total_time, points=args.points)
     print(format_curves([run], times, title=f"{run.label} on {dataset.name}"))
@@ -151,15 +177,20 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
+    executor = _make_backend(args)
     runs = [
         run_progressive(
-            dataset, _progressive_config(args.family), args.machines, label="ours"
+            dataset,
+            _progressive_config(args.family),
+            args.machines,
+            label="ours",
+            executor=executor,
         )
     ]
     thresholds: List[Optional[float]] = [None] + list(args.thresholds or [])
     for threshold in thresholds:
         config = _basic_config(args.family, args.window, threshold)
-        runs.append(run_basic(dataset, config, args.machines))
+        runs.append(run_basic(dataset, config, args.machines, executor=executor))
     horizon = runs[0].total_time
     if args.chart:
         print(ascii_chart(runs, horizon=horizon, title=f"recall vs time — {dataset.name}"))

@@ -229,22 +229,26 @@ def run_statistics_job(
     start_time: float = 0.0,
 ) -> Tuple[List[AnnotatedEntity], DatasetStatistics, JobResult]:
     """Execute Job 1 and return (annotated dataset, statistics, job result)."""
-    mappers: List[AnnotateMapper] = []
-
-    def mapper_factory() -> AnnotateMapper:
-        mapper = AnnotateMapper(scheme)
-        mappers.append(mapper)
-        return mapper
-
     job = MapReduceJob(
-        mapper_factory=mapper_factory,
+        mapper_factory=lambda: AnnotateMapper(scheme),
         reducer_factory=lambda: BlockStatsReducer(scheme),
         name="progressive-blocking-statistics",
     )
     result = cluster.run_job(job, dataset.entities, start_time=start_time)
-    annotated: List[AnnotatedEntity] = []
-    for mapper in mappers:
-        annotated.extend(mapper.annotated)
+    # The annotated dataset is a deterministic function of the input — the
+    # job charges its cost, but the driver derives it directly rather than
+    # collecting mapper side effects (which would be lost on a process
+    # backend, where mappers run in worker processes).
+    annotated: List[AnnotatedEntity] = [
+        (
+            entity,
+            {
+                family: scheme.main_function(family).key_of(entity)
+                for family in scheme.family_order
+            },
+        )
+        for entity in dataset.entities
+    ]
     annotated.sort(key=lambda a: a[0].id)
     stats = DatasetStatistics.from_records(scheme, result.output)
     return annotated, stats, result

@@ -16,6 +16,7 @@ from ..core.driver import ProgressiveER, ProgressiveResult
 from ..data.dataset import Dataset
 from ..mapreduce.clock import CostModel
 from ..mapreduce.engine import Cluster
+from ..mapreduce.executors import Executor
 from .metrics import RecallCurve, recall_curve
 
 
@@ -36,13 +37,19 @@ class CurveRun:
         return self.curve.end_time
 
 
-def make_cluster(machines: int, *, cost_model: Optional[CostModel] = None) -> Cluster:
+def make_cluster(
+    machines: int,
+    *,
+    cost_model: Optional[CostModel] = None,
+    executor: Optional[Executor] = None,
+) -> Cluster:
     """A paper-shaped cluster: 2 map + 2 reduce slots per machine."""
     return Cluster(
         machines,
         map_slots=2,
         reduce_slots=2,
         cost_model=cost_model if cost_model is not None else CostModel(),
+        executor=executor,
     )
 
 
@@ -55,9 +62,10 @@ def run_progressive(
     seed: int = 0,
     label: Optional[str] = None,
     cost_model: Optional[CostModel] = None,
+    executor: Optional[Executor] = None,
 ) -> CurveRun:
     """Run our approach (or a scheduler variant) and build its curve."""
-    cluster = make_cluster(machines, cost_model=cost_model)
+    cluster = make_cluster(machines, cost_model=cost_model, executor=executor)
     result = ProgressiveER(config, cluster, strategy=strategy, seed=seed).run(dataset)
     curve = recall_curve(
         result.duplicate_events, dataset, end_time=result.total_time
@@ -76,9 +84,10 @@ def run_basic(
     *,
     label: Optional[str] = None,
     cost_model: Optional[CostModel] = None,
+    executor: Optional[Executor] = None,
 ) -> CurveRun:
     """Run the Basic baseline and build its curve."""
-    cluster = make_cluster(machines, cost_model=cost_model)
+    cluster = make_cluster(machines, cost_model=cost_model, executor=executor)
     result = BasicER(config, cluster).run(dataset)
     curve = recall_curve(
         result.duplicate_events, dataset, end_time=result.total_time

@@ -10,6 +10,13 @@ output.
 from .clock import CostModel, VirtualClock
 from .counters import Counters
 from .engine import Cluster, SlotPool
+from .executors import (
+    BACKENDS,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from .io import file_timeline, results_available_at
 from .job import (
     Combiner,
@@ -29,6 +36,11 @@ __all__ = [
     "Counters",
     "Cluster",
     "SlotPool",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "BACKENDS",
     "MapReduceJob",
     "Combiner",
     "Mapper",

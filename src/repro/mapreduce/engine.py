@@ -12,42 +12,67 @@ disabled.  :class:`Cluster` reproduces exactly that static-slot model:
 * each reduce task is charged shuffle cost proportional to the records it
   receives, then runs its groups to completion.
 
-All time is virtual (see :mod:`repro.mapreduce.clock`).
+All time is virtual (see :mod:`repro.mapreduce.clock`).  The *computation*
+of each task is delegated to an execution backend
+(:mod:`repro.mapreduce.executors`): tasks return per-task cost/event
+payloads and the cluster replays them through its :class:`SlotPool` in
+task-id order, so virtual-time results are identical whether the tasks ran
+serially or on a pool of worker processes.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, List, Optional, Sequence
 
 from .clock import CostModel
 from .counters import Counters
-from .job import MapReduceJob, TaskContext, split_input
+from .executors import (
+    Executor,
+    MapTaskPayload,
+    ReduceTaskPayload,
+    SerialExecutor,
+    default_group_key as _default_key,
+    group_by_key as _group_by_key,
+)
+from .job import MapReduceJob, split_input
 from .types import Event, JobResult, KeyValue, OutputFile, TaskResult
 
 
 class SlotPool:
-    """A set of identical execution slots with earliest-availability scheduling."""
+    """A set of identical execution slots with earliest-availability scheduling.
+
+    Backed by a min-heap of ``(free_at, slot_index)`` pairs, so placing a
+    task is O(log slots) instead of the O(slots) linear scan a naive
+    implementation needs.  Ties on ``free_at`` break by slot index, which
+    is exactly the ordering the scan-based version used.
+    """
 
     def __init__(self, num_slots: int, ready_time: float) -> None:
         if num_slots <= 0:
             raise ValueError(f"need at least one slot, got {num_slots}")
-        self._free_at = [ready_time] * num_slots
+        # Already heap-ordered: equal times, ascending slot index.
+        self._heap: List[tuple[float, int]] = [
+            (ready_time, slot) for slot in range(num_slots)
+        ]
+        self._makespan = ready_time
 
     def schedule(self, cost: float) -> tuple[float, float]:
         """Place a task of ``cost`` units on the earliest-free slot.
 
         Returns ``(start_time, end_time)`` in global virtual time.
         """
-        slot = min(range(len(self._free_at)), key=lambda i: (self._free_at[i], i))
-        start = self._free_at[slot]
+        start, slot = heapq.heappop(self._heap)
         end = start + cost
-        self._free_at[slot] = end
+        heapq.heappush(self._heap, (end, slot))
+        if end > self._makespan:
+            self._makespan = end
         return start, end
 
     @property
     def makespan(self) -> float:
         """Global time at which every slot is free again."""
-        return max(self._free_at)
+        return self._makespan
 
 
 class Cluster:
@@ -58,6 +83,9 @@ class Cluster:
         map_slots: concurrent map tasks per machine (paper: 2).
         reduce_slots: concurrent reduce tasks per machine (paper: 2).
         cost_model: unit costs charged to every task clock.
+        executor: execution backend running the per-task computations
+            (default: :class:`~repro.mapreduce.executors.SerialExecutor`).
+            Backends only change wall-clock time, never virtual time.
     """
 
     def __init__(
@@ -67,6 +95,7 @@ class Cluster:
         map_slots: int = 2,
         reduce_slots: int = 2,
         cost_model: Optional[CostModel] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         if machines <= 0:
             raise ValueError(f"machines must be positive, got {machines}")
@@ -74,6 +103,7 @@ class Cluster:
         self.map_slots = map_slots
         self.reduce_slots = reduce_slots
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.executor = executor if executor is not None else SerialExecutor()
 
     @property
     def num_map_tasks(self) -> int:
@@ -97,12 +127,14 @@ class Cluster:
         num_reduce_tasks: Optional[int] = None,
         map_failures: Optional[dict] = None,
         reduce_failures: Optional[dict] = None,
+        executor: Optional[Executor] = None,
     ) -> JobResult:
         """Execute one MapReduce job and return its :class:`JobResult`.
 
         ``records`` is the logical input file; it is split contiguously
         across map tasks.  ``start_time`` lets callers chain jobs (Job 2
-        starts when Job 1 ends).
+        starts when Job 1 ends).  ``executor`` overrides the cluster's
+        backend for this job only.
 
         ``map_failures`` / ``reduce_failures`` inject Hadoop-style task
         failures: ``{task_id: attempts_that_fail}``.  A failed attempt
@@ -114,17 +146,18 @@ class Cluster:
         n_red = num_reduce_tasks if num_reduce_tasks is not None else self.num_reduce_tasks
         job.config.setdefault("num_reduce_tasks", n_red)
         job.config.setdefault("num_map_tasks", n_map)
+        backend = executor if executor is not None else self.executor
 
         counters = Counters()
         map_results, partitions = self._run_map_phase(
             job, records, n_map, n_red, start_time, counters,
-            map_failures or {},
+            map_failures or {}, backend,
         )
         map_phase_end = max((t.end_time for t in map_results), default=start_time)
 
         reduce_results, files = self._run_reduce_phase(
             job, partitions, n_red, map_phase_end, counters,
-            reduce_failures or {},
+            reduce_failures or {}, backend,
         )
         end_time = max((t.end_time for t in reduce_results), default=map_phase_end)
 
@@ -160,46 +193,47 @@ class Cluster:
         start_time: float,
         counters: Counters,
         failures: dict,
+        backend: Executor,
     ) -> tuple[List[TaskResult], List[List[KeyValue]]]:
-        """Run all map tasks; return task results and per-reducer partitions."""
+        """Run all map tasks; return task results and per-reducer partitions.
+
+        The backend computes the payloads (possibly on worker processes);
+        scheduling, counter aggregation and partitioning replay them here,
+        in task-id order, so the timeline never depends on the backend.
+        """
         splits = split_input(records, n_map)
+        payloads = backend.run_map_phase(job, splits, self.cost_model)
         pool = SlotPool(self.machines * self.map_slots, start_time)
         partitions: List[List[KeyValue]] = [[] for _ in range(n_red)]
         results: List[TaskResult] = []
 
-        for task_id, split in enumerate(splits):
-            context = TaskContext(task_id, self.cost_model, job.config)
-            mapper = job.mapper_factory()
-            mapper.setup(context)
-            for record in split:
-                context.charge(self.cost_model.read_record)
-                mapper.map(record, context)
-            mapper.cleanup(context)
-            emitted = context.emitted
+        for payload in payloads:
+            task_id = payload.task_id
+            counters.merge(payload.counters)
             if job.combiner is not None:
-                emitted = self._apply_combiner(job, emitted, context, counters)
-            counters.merge(context.counters)
-            counters.increment("map", "records", len(split))
-            counters.increment("map", "emitted", len(emitted))
+                counters.increment("combine", "input", payload.combine_input)
+                counters.increment("combine", "output", payload.combine_output)
+            counters.increment("map", "records", payload.num_records)
+            counters.increment("map", "emitted", len(payload.emitted))
 
             start, end, attempt_start = self._schedule_attempts(
-                pool, context.clock.now, failures.get(task_id, 0)
+                pool, payload.cost, failures.get(task_id, 0)
             )
             counters.increment("map", "retries", failures.get(task_id, 0))
             results.append(
                 TaskResult(
                     task_id=task_id,
-                    cost=context.clock.now,
+                    cost=payload.cost,
                     start_time=start,
                     end_time=end,
                     events=[
                         Event(time=attempt_start + e.time, kind=e.kind, payload=e.payload)
-                        for e in context.emitted_events
+                        for e in payload.events
                     ],
-                    output=emitted,
+                    output=payload.emitted,
                 )
             )
-            for key, value in emitted:
+            for key, value in payload.emitted:
                 idx = job.partitioner.partition(key, n_red)
                 if not 0 <= idx < n_red:
                     raise ValueError(
@@ -208,25 +242,6 @@ class Cluster:
                     )
                 partitions[idx].append((key, value))
         return results, partitions
-
-    def _apply_combiner(
-        self,
-        job: MapReduceJob,
-        emitted: List[KeyValue],
-        context: TaskContext,
-        counters: Counters,
-    ) -> List[KeyValue]:
-        """Fold a map task's output through the job's combiner."""
-        assert job.combiner is not None
-        context.charge(self.cost_model.sort_cost(len(emitted)))
-        groups = _group_by_key(emitted)
-        combined: List[KeyValue] = []
-        for key, values in groups.items():
-            for value in job.combiner.combine(key, values):
-                combined.append((key, value))
-        counters.increment("combine", "input", len(emitted))
-        counters.increment("combine", "output", len(combined))
-        return combined
 
     @staticmethod
     def _schedule_attempts(
@@ -246,69 +261,41 @@ class Cluster:
         phase_start: float,
         counters: Counters,
         failures: dict,
+        backend: Executor,
     ) -> tuple[List[TaskResult], List[OutputFile]]:
         """Run all reduce tasks; return task results and output files."""
+        payloads = backend.run_reduce_phase(job, partitions, self.cost_model)
         pool = SlotPool(self.machines * self.reduce_slots, phase_start)
         results: List[TaskResult] = []
         all_files: List[OutputFile] = []
 
-        for task_id in range(n_red):
-            items = partitions[task_id]
-            context = TaskContext(
-                task_id, self.cost_model, job.config, alpha=job.alpha
-            )
-            # Shuffle: pull records in, then sort groups by key.
-            context.charge(self.cost_model.shuffle_record * len(items))
-            groups = _group_by_key(items)
-            keys = list(groups.keys())
-            sort_key = job.key_sort
-            keys.sort(key=sort_key if sort_key is not None else _default_key)
-            context.charge(self.cost_model.sort_cost(len(items)))
-
-            reducer = job.reducer_factory()
-            reducer.setup(context)
-            for key in keys:
-                reducer.reduce(key, groups[key], context)
-            reducer.cleanup(context)
-            counters.merge(context.counters)
-            counters.increment("reduce", "groups", len(keys))
-            counters.increment("reduce", "records", len(items))
+        for payload in payloads:
+            task_id = payload.task_id
+            counters.merge(payload.counters)
+            counters.increment("reduce", "groups", payload.num_groups)
+            counters.increment("reduce", "records", payload.num_records)
 
             start, end, attempt_start = self._schedule_attempts(
-                pool, context.clock.now, failures.get(task_id, 0)
+                pool, payload.cost, failures.get(task_id, 0)
             )
             counters.increment("reduce", "retries", failures.get(task_id, 0))
-            files = context.finalize_files()
-            for f in files:
+            for f in payload.files:
                 f.close_time += attempt_start  # rebase to global time
-            all_files.extend(files)
+            all_files.extend(payload.files)
             results.append(
                 TaskResult(
                     task_id=task_id,
-                    cost=context.clock.now,
+                    cost=payload.cost,
                     start_time=start,
                     end_time=end,
                     events=[
                         Event(time=attempt_start + e.time, kind=e.kind, payload=e.payload)
-                        for e in context.emitted_events
+                        for e in payload.events
                     ],
-                    output=context.written,
+                    output=payload.written,
                 )
             )
         return results, all_files
-
-
-def _group_by_key(items: Sequence[KeyValue]) -> "dict[Any, List[Any]]":
-    """Group shuffled key-value pairs by key, preserving arrival order."""
-    groups: dict[Any, List[Any]] = {}
-    for key, value in items:
-        groups.setdefault(key, []).append(value)
-    return groups
-
-
-def _default_key(key: Any) -> Any:
-    """Default group ordering: natural key order with a repr fallback."""
-    return (0, key) if isinstance(key, (int, float)) else (1, repr(key))
 
 
 __all__ = ["Cluster", "SlotPool"]

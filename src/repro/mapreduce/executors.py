@@ -1,0 +1,369 @@
+"""Pluggable execution backends for the MapReduce simulator.
+
+The paper's whole point is *parallel* progressive ER, yet virtual time says
+nothing about wall-clock time: the simulator historically ran every task of
+every phase serially in one Python process.  This module separates the two
+concerns:
+
+* the **per-task computation** (:func:`compute_map_task` /
+  :func:`compute_reduce_task`) is a pure function of ``(job, input split,
+  task id, cost model)`` — it produces a :class:`MapTaskPayload` /
+  :class:`ReduceTaskPayload` holding the task's virtual cost, local-time
+  events, outputs and counters;
+* the **accounting** (slot scheduling, event rebasing, counter aggregation,
+  partitioning) stays in :class:`repro.mapreduce.engine.Cluster`, which
+  replays the payloads through its :class:`~repro.mapreduce.engine.SlotPool`
+  in task-id order.
+
+An :class:`Executor` only decides *where* the per-task computations run:
+
+* :class:`SerialExecutor` — in-process, one task at a time (the default);
+* :class:`ParallelExecutor` — fans the tasks of a phase out to worker
+  processes via a fork-context :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract
+--------------------
+Both backends produce **bit-for-bit identical** job results: the payload of
+a task depends only on the task's inputs (tasks never share mutable state —
+each gets a fresh mapper/reducer from its factory), floating-point virtual
+costs are computed by the same pure Python code in either process, and the
+driver consumes payloads in task-id order regardless of the order workers
+finish in.  Wall-clock time is the only observable difference.
+
+Worker serialization caveats
+----------------------------
+Jobs routinely close over lambdas and rich schedule objects, so the job is
+*not* pickled to workers.  Instead the parallel backend relies on the POSIX
+``fork`` start method: phase state is stashed in a module global immediately
+before the pool is created, and workers inherit it via copy-on-write.  Task
+*results* (payloads) are pickled back to the driver, so everything a mapper
+emits, a reducer writes, and every event payload must be picklable.  On
+platforms without ``fork`` the parallel backend transparently degrades to
+in-process execution (results are identical either way).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from .clock import CostModel
+from .counters import Counters
+from .job import MapReduceJob, TaskContext
+from .types import Event, KeyValue, OutputFile
+
+
+@dataclass
+class MapTaskPayload:
+    """Everything one map task computed, in task-local virtual time.
+
+    Attributes:
+        task_id: index of the task within the map phase.
+        cost: total virtual cost the task accumulated.
+        events: events recorded by the task (local time; the engine rebases
+            them to global time once the task is scheduled on a slot).
+        emitted: the task's intermediate key-value pairs, post-combiner.
+        counters: counters the task incremented.
+        num_records: input records the task consumed.
+        combine_input / combine_output: combiner fold sizes (0 when the job
+            has no combiner).
+    """
+
+    task_id: int
+    cost: float
+    events: List[Event]
+    emitted: List[KeyValue]
+    counters: Counters
+    num_records: int
+    combine_input: int = 0
+    combine_output: int = 0
+
+
+@dataclass
+class ReduceTaskPayload:
+    """Everything one reduce task computed, in task-local virtual time."""
+
+    task_id: int
+    cost: float
+    events: List[Event]
+    written: List[Any]
+    files: List[OutputFile] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+    num_groups: int = 0
+    num_records: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Pure per-task computations (shared by every backend)
+# ---------------------------------------------------------------------------
+
+
+def compute_map_task(
+    job: MapReduceJob,
+    split: Sequence[Any],
+    task_id: int,
+    cost_model: CostModel,
+) -> MapTaskPayload:
+    """Run one map task to completion and return its payload."""
+    context = TaskContext(task_id, cost_model, job.config)
+    mapper = job.mapper_factory()
+    mapper.setup(context)
+    for record in split:
+        context.charge(cost_model.read_record)
+        mapper.map(record, context)
+    mapper.cleanup(context)
+    emitted = context.emitted
+    combine_input = combine_output = 0
+    if job.combiner is not None:
+        combine_input = len(emitted)
+        emitted = _apply_combiner(job, emitted, context)
+        combine_output = len(emitted)
+    return MapTaskPayload(
+        task_id=task_id,
+        cost=context.clock.now,
+        events=list(context.emitted_events),
+        emitted=emitted,
+        counters=context.counters,
+        num_records=len(split),
+        combine_input=combine_input,
+        combine_output=combine_output,
+    )
+
+
+def _apply_combiner(
+    job: MapReduceJob, emitted: List[KeyValue], context: TaskContext
+) -> List[KeyValue]:
+    """Fold a map task's output through the job's combiner."""
+    assert job.combiner is not None
+    context.charge(context.cost_model.sort_cost(len(emitted)))
+    groups = group_by_key(emitted)
+    combined: List[KeyValue] = []
+    for key, values in groups.items():
+        for value in job.combiner.combine(key, values):
+            combined.append((key, value))
+    return combined
+
+
+def compute_reduce_task(
+    job: MapReduceJob,
+    items: Sequence[KeyValue],
+    task_id: int,
+    cost_model: CostModel,
+) -> ReduceTaskPayload:
+    """Run one reduce task (shuffle charge, sort, reduce calls) and return
+    its payload.  Output-file close times stay task-local until the engine
+    schedules the task and rebases them."""
+    context = TaskContext(task_id, cost_model, job.config, alpha=job.alpha)
+    # Shuffle: pull records in, then sort groups by key.
+    context.charge(cost_model.shuffle_record * len(items))
+    groups = group_by_key(items)
+    keys = list(groups.keys())
+    sort_key = job.key_sort
+    keys.sort(key=sort_key if sort_key is not None else default_group_key)
+    context.charge(cost_model.sort_cost(len(items)))
+
+    reducer = job.reducer_factory()
+    reducer.setup(context)
+    for key in keys:
+        reducer.reduce(key, groups[key], context)
+    reducer.cleanup(context)
+    return ReduceTaskPayload(
+        task_id=task_id,
+        cost=context.clock.now,
+        events=list(context.emitted_events),
+        written=context.written,
+        files=context.finalize_files(),
+        counters=context.counters,
+        num_groups=len(keys),
+        num_records=len(items),
+    )
+
+
+def group_by_key(items: Sequence[KeyValue]) -> "dict[Any, List[Any]]":
+    """Group shuffled key-value pairs by key, preserving arrival order."""
+    groups: dict[Any, List[Any]] = {}
+    for key, value in items:
+        groups.setdefault(key, []).append(value)
+    return groups
+
+
+def default_group_key(key: Any) -> Any:
+    """Default group ordering: natural key order with a repr fallback."""
+    return (0, key) if isinstance(key, (int, float)) else (1, repr(key))
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class Executor:
+    """Runs the independent per-task computations of one job phase.
+
+    Implementations must return payloads in task-id order and must not
+    change the payloads' contents relative to :class:`SerialExecutor` —
+    the engine relies on this for cross-backend determinism.
+    """
+
+    name: str = "?"
+
+    def run_map_phase(
+        self,
+        job: MapReduceJob,
+        splits: Sequence[Sequence[Any]],
+        cost_model: CostModel,
+    ) -> List[MapTaskPayload]:
+        raise NotImplementedError
+
+    def run_reduce_phase(
+        self,
+        job: MapReduceJob,
+        partitions: Sequence[Sequence[KeyValue]],
+        cost_model: CostModel,
+    ) -> List[ReduceTaskPayload]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+
+class SerialExecutor(Executor):
+    """The default backend: every task runs in the driver process."""
+
+    name = "serial"
+
+    def run_map_phase(self, job, splits, cost_model):
+        return [
+            compute_map_task(job, split, task_id, cost_model)
+            for task_id, split in enumerate(splits)
+        ]
+
+    def run_reduce_phase(self, job, partitions, cost_model):
+        return [
+            compute_reduce_task(job, items, task_id, cost_model)
+            for task_id, items in enumerate(partitions)
+        ]
+
+
+class _PhaseState:
+    """One phase's inputs, stashed in a module global for fork inheritance."""
+
+    __slots__ = ("kind", "job", "inputs", "cost_model")
+
+    def __init__(self, kind: str, job: MapReduceJob, inputs, cost_model) -> None:
+        self.kind = kind
+        self.job = job
+        self.inputs = inputs
+        self.cost_model = cost_model
+
+    def run_task(self, task_id: int):
+        if self.kind == "map":
+            return compute_map_task(
+                self.job, self.inputs[task_id], task_id, self.cost_model
+            )
+        return compute_reduce_task(
+            self.job, self.inputs[task_id], task_id, self.cost_model
+        )
+
+
+#: The phase currently being fanned out; workers inherit it at fork time.
+_ACTIVE_PHASE: Optional[_PhaseState] = None
+
+
+def _run_phase_task(task_id: int):
+    """Top-level worker entry point (picklable by name)."""
+    phase = _ACTIVE_PHASE
+    if phase is None:  # pragma: no cover - defensive
+        raise RuntimeError(
+            "worker has no inherited phase state; the parallel backend "
+            "requires the fork start method"
+        )
+    return phase.run_task(task_id)
+
+
+def _default_workers() -> int:
+    """Worker count honoring CPU affinity where the platform exposes it."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class ParallelExecutor(Executor):
+    """Fan each phase's tasks out to ``workers`` processes.
+
+    A fresh fork-context pool is created per phase so workers inherit the
+    phase state (job, splits/partitions) via copy-on-write — jobs are full
+    of lambdas and cannot be pickled.  Payloads come back pickled; the
+    engine replays them exactly as it would serial payloads, so results
+    are bit-for-bit identical to :class:`SerialExecutor`.
+
+    When process parallelism cannot help — no ``fork`` support, a single
+    worker, or a phase with fewer than two tasks — tasks run in-process,
+    which changes nothing but wall-clock time.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers if workers is not None else _default_workers()
+        self._can_fork = "fork" in multiprocessing.get_all_start_methods()
+
+    def run_map_phase(self, job, splits, cost_model):
+        return self._run_phase(_PhaseState("map", job, splits, cost_model), len(splits))
+
+    def run_reduce_phase(self, job, partitions, cost_model):
+        return self._run_phase(
+            _PhaseState("reduce", job, partitions, cost_model), len(partitions)
+        )
+
+    def _run_phase(self, phase: _PhaseState, num_tasks: int):
+        if num_tasks == 0:
+            return []
+        if not self._can_fork or self.workers < 2 or num_tasks < 2:
+            return [phase.run_task(task_id) for task_id in range(num_tasks)]
+        global _ACTIVE_PHASE
+        _ACTIVE_PHASE = phase
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, num_tasks), mp_context=context
+            ) as pool:
+                # pool.map preserves submission order: payloads come back in
+                # task-id order no matter which worker finished first.
+                return list(pool.map(_run_phase_task, range(num_tasks)))
+        finally:
+            _ACTIVE_PHASE = None
+
+
+#: Recognised backend names for :func:`make_executor` / the CLI.
+BACKENDS = ("serial", "process")
+
+
+def make_executor(backend: str = "serial", workers: Optional[int] = None) -> Executor:
+    """Build an executor from a CLI-style backend name."""
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "process":
+        return ParallelExecutor(workers)
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+
+__all__ = [
+    "MapTaskPayload",
+    "ReduceTaskPayload",
+    "compute_map_task",
+    "compute_reduce_task",
+    "group_by_key",
+    "default_group_key",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "BACKENDS",
+    "make_executor",
+]

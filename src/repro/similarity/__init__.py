@@ -7,7 +7,9 @@ from .matchers import (
     WeightedMatcher,
     books_matcher,
     citeseer_matcher,
+    clear_similarity_cache,
     people_matcher,
+    similarity_cache_counters,
 )
 from .tokens import jaccard, qgram_jaccard, qgrams, token_jaccard, word_tokens
 
@@ -27,4 +29,6 @@ __all__ = [
     "jaccard",
     "token_jaccard",
     "qgram_jaccard",
+    "similarity_cache_counters",
+    "clear_similarity_cache",
 ]

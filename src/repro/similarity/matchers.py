@@ -12,9 +12,11 @@ and a cost hook so the simulator can charge longer comparisons more.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..data.entity import Entity
+from ..mapreduce.counters import Counters
 from .edit_distance import edit_similarity
 from .jaro import jaro_winkler
 from .tokens import qgram_jaccard, token_jaccard
@@ -25,6 +27,54 @@ REFERENCE_LENGTH = 40.0
 #: Lower clamp on the per-pair cost factor: even trivial comparisons incur
 #: dispatch/serialization overhead.
 MIN_COST_FACTOR = 0.2
+
+#: Relative wall-clock cost rank per comparator, used to order rule
+#: evaluation cheapest-first when a bounded match can short-circuit.
+_COMPARATOR_RANK = {
+    "exact": 0,
+    "token_jaccard": 1,
+    "qgram": 1,
+    "jaro_winkler": 2,
+    "edit": 3,  # quadratic in string length
+}
+
+_COMPARATOR_FUNCTIONS = {
+    "edit": edit_similarity,
+    "jaro_winkler": jaro_winkler,
+    "token_jaccard": token_jaccard,
+    "qgram": qgram_jaccard,
+}
+
+
+@lru_cache(maxsize=1 << 20)
+def _memo_compare(comparator: str, v1: str, v2: str) -> float:
+    """Memoized attribute-value comparison.
+
+    Blocked data repeats attribute values constantly (every member of a
+    block shares its blocking key's attribute, SN windows slide one record
+    at a time), so ``(comparator, v1, v2)`` recurs across pairs, blocks and
+    runs.  The memo only skips *wall-clock* work: virtual cost is charged
+    from string lengths by :meth:`WeightedMatcher.comparison_cost_factor`,
+    which never consults the cache, so cached and uncached paths charge
+    identically.  Process-backend workers each hold their own copy (forked
+    warm, then diverging), which likewise cannot affect virtual time.
+    """
+    return _COMPARATOR_FUNCTIONS[comparator](v1, v2)
+
+
+def similarity_cache_counters() -> Counters:
+    """Cache-hit statistics as Hadoop-style counters (this process only)."""
+    info = _memo_compare.cache_info()
+    counters = Counters()
+    counters.increment("similarity_cache", "hits", info.hits)
+    counters.increment("similarity_cache", "misses", info.misses)
+    counters.increment("similarity_cache", "entries", info.currsize)
+    return counters
+
+
+def clear_similarity_cache() -> None:
+    """Drop the process-wide comparison memo (benchmark hygiene)."""
+    _memo_compare.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -74,13 +124,7 @@ class AttributeRule:
             return 0.0
         if self.comparator == "exact":
             return 1.0 if v1 == v2 else 0.0
-        if self.comparator == "jaro_winkler":
-            return jaro_winkler(v1, v2)
-        if self.comparator == "token_jaccard":
-            return token_jaccard(v1, v2)
-        if self.comparator == "qgram":
-            return qgram_jaccard(v1, v2)
-        return edit_similarity(v1, v2)
+        return _memo_compare(self.comparator, v1, v2)
 
 
 class WeightedMatcher:
@@ -110,6 +154,14 @@ class WeightedMatcher:
         self.rules: List[AttributeRule] = list(rules)
         self.threshold = threshold
         self._cache: Optional[dict] = {} if cache else None
+        # Cheapest comparators first (stable on the original order), so a
+        # bounded match can rule a pair out before paying for quadratic
+        # edit distances on long attributes.
+        self._eval_order: List[int] = sorted(
+            range(len(self.rules)),
+            key=lambda i: (_COMPARATOR_RANK[self.rules[i].comparator], i),
+        )
+        self._total_weight = sum(rule.weight for rule in self.rules)
 
     def clear_cache(self) -> None:
         """Drop all memoized similarities (switching datasets)."""
@@ -144,7 +196,54 @@ class WeightedMatcher:
 
     def is_match(self, e1: Entity, e2: Entity) -> bool:
         """The resolve function: do ``e1`` and ``e2`` co-refer?"""
-        return self.similarity(e1, e2) >= self.threshold
+        if self._cache is not None:
+            # The pair cache wants the full score anyway; no point bounding.
+            return self.similarity(e1, e2) >= self.threshold
+        return self._bounded_match(e1, e2)
+
+    def _bounded_match(self, e1: Entity, e2: Entity) -> bool:
+        """Decide ``is_match`` evaluating cheap comparators first.
+
+        After each rule, an upper bound on the achievable weighted
+        similarity is checked: every unevaluated rule is assumed to score a
+        perfect 1.0 (which also dominates the missing-on-both-sides case,
+        where the weight drops from both numerator and denominator).  If
+        even that bound falls below the threshold the pair cannot match and
+        the remaining — typically quadratic — comparators are skipped.  When
+        no cutoff fires, the final sum is re-accumulated in the *original*
+        rule order so the decision is bit-for-bit the one
+        :meth:`similarity` would make.
+        """
+        sims: List[Optional[float]] = [None] * len(self.rules)
+        total = 0.0
+        total_weight = 0.0
+        remaining = self._total_weight
+        for index in self._eval_order:
+            rule = self.rules[index]
+            sim = rule.similarity(e1, e2)
+            sims[index] = sim
+            remaining -= rule.weight
+            if sim is not None:
+                total += rule.weight * sim
+                total_weight += rule.weight
+            bound_weight = total_weight + remaining
+            if bound_weight == 0.0:
+                return False  # every evaluated rule missing on both sides
+            # Conservative margin: the bound is accumulated in evaluation
+            # order, so give float reordering noise no chance to cut a pair
+            # that the exact original-order sum would accept.
+            if remaining > 0.0 and (total + remaining) / bound_weight < self.threshold - 1e-9:
+                return False
+        if total_weight == 0.0:
+            return False
+        exact_total = 0.0
+        exact_weight = 0.0
+        for rule, sim in zip(self.rules, sims):
+            if sim is None:
+                continue
+            exact_total += rule.weight * sim
+            exact_weight += rule.weight
+        return exact_total / exact_weight >= self.threshold
 
     def comparison_cost_factor(self, e1: Entity, e2: Entity) -> float:
         """Relative cost of resolving this pair (1.0 = reference length).
@@ -222,6 +321,8 @@ def people_matcher(threshold: float = 0.62, *, cache: bool = False) -> WeightedM
 __all__ = [
     "AttributeRule",
     "WeightedMatcher",
+    "similarity_cache_counters",
+    "clear_similarity_cache",
     "citeseer_matcher",
     "books_matcher",
     "people_matcher",

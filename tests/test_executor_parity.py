@@ -1,0 +1,196 @@
+"""Cross-backend determinism: serial and process executors must produce
+bit-for-bit identical virtual-time results.
+
+The execution backend only decides *where* per-task computations run; the
+engine replays the resulting payloads through its slot pool in task-id
+order.  These tests pin the contract on paper-shaped workloads: a FIG8-scale
+ours-versus-Basic comparison and a small FIG9 scheduler sweep, both seeded,
+plus targeted engine-level jobs (combiner, failures, empty input).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import run_basic, run_progressive, sample_times
+from repro.mapreduce import (
+    Cluster,
+    Combiner,
+    MapReduceJob,
+    Mapper,
+    ParallelExecutor,
+    Reducer,
+    SerialExecutor,
+    make_executor,
+)
+
+#: Worker count for the process backend in these tests.  Two is enough to
+#: exercise real fan-out (pickled payloads, out-of-order completion) while
+#: staying cheap on small CI machines.
+WORKERS = 2
+
+
+def job_fingerprint(job):
+    """Everything observable about a JobResult, hashable and comparable.
+
+    Event equality alone is not enough — ``Event.payload`` is excluded from
+    the dataclass ``__eq__`` — so payloads are compared explicitly.
+    """
+    return (
+        job.start_time,
+        job.map_phase_end,
+        job.end_time,
+        tuple(
+            (t.task_id, t.cost, t.start_time, t.end_time)
+            for t in job.map_tasks + job.reduce_tasks
+        ),
+        tuple((e.time, e.kind, repr(e.payload)) for e in job.events),
+        tuple(sorted(job.counters.as_dict().items())),
+        tuple(
+            (f.task_id, f.index, f.close_time, tuple(repr(r) for r in f.records))
+            for f in job.output_files
+        ),
+        tuple(repr(record) for record in job.output),
+    )
+
+
+def run_fingerprint(run):
+    """Fingerprint of a CurveRun: all jobs plus the recall-vs-time curve."""
+    result = run.result
+    jobs = [result.job1, result.job2] if hasattr(result, "job2") else [result.job]
+    times = sample_times(run.total_time, points=25)
+    curve = tuple(run.curve.recall_at(t) for t in times)
+    return tuple(job_fingerprint(job) for job in jobs), curve, run.total_time
+
+
+class TestPaperWorkloadParity:
+    def test_fig8_scale_progressive_parity(self, citeseer_small, citeseer_cfg):
+        serial = run_progressive(
+            citeseer_small, citeseer_cfg, 10, executor=SerialExecutor()
+        )
+        process = run_progressive(
+            citeseer_small, citeseer_cfg, 10, executor=ParallelExecutor(WORKERS)
+        )
+        assert run_fingerprint(serial) == run_fingerprint(process)
+
+    def test_fig8_scale_basic_parity(self, citeseer_small, basic_cfg):
+        serial = run_basic(citeseer_small, basic_cfg, 10, executor=SerialExecutor())
+        process = run_basic(
+            citeseer_small, basic_cfg, 10, executor=ParallelExecutor(WORKERS)
+        )
+        assert run_fingerprint(serial) == run_fingerprint(process)
+
+    @pytest.mark.parametrize("strategy", ["nosplit", "lpt"])
+    def test_fig9_small_scheduler_parity(self, citeseer_small, citeseer_cfg, strategy):
+        serial = run_progressive(
+            citeseer_small,
+            citeseer_cfg,
+            6,
+            strategy=strategy,
+            executor=SerialExecutor(),
+        )
+        process = run_progressive(
+            citeseer_small,
+            citeseer_cfg,
+            6,
+            strategy=strategy,
+            executor=ParallelExecutor(WORKERS),
+        )
+        assert run_fingerprint(serial) == run_fingerprint(process)
+
+
+# ---------------------------------------------------------------------------
+# Engine-level parity on synthetic jobs
+# ---------------------------------------------------------------------------
+
+
+class _WordMapper(Mapper):
+    def map(self, record, context):
+        for word in record.split():
+            context.emit(word, 1)
+
+
+class _SumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.charge(0.5 * len(values))
+        context.record_event("group", key)
+        context.write((key, sum(values)))
+
+
+class _SumCombiner(Combiner):
+    def combine(self, key, values):
+        return [sum(values)]
+
+
+_LINES = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "",
+    "fox fox fox",
+] * 4
+
+
+def _wordcount_job(combiner=False):
+    return MapReduceJob(
+        _WordMapper,
+        _SumReducer,
+        combiner=_SumCombiner() if combiner else None,
+        alpha=1.0,
+    )
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("combiner", [False, True])
+    def test_wordcount_parity(self, combiner):
+        serial = Cluster(3).run_job(_wordcount_job(combiner), _LINES)
+        process = Cluster(3, executor=ParallelExecutor(WORKERS)).run_job(
+            _wordcount_job(combiner), _LINES
+        )
+        assert job_fingerprint(serial) == job_fingerprint(process)
+
+    def test_failure_injection_parity(self):
+        kwargs = dict(map_failures={1: 2}, reduce_failures={0: 1})
+        serial = Cluster(2).run_job(_wordcount_job(), _LINES, **kwargs)
+        process = Cluster(2, executor=ParallelExecutor(WORKERS)).run_job(
+            _wordcount_job(), _LINES, **kwargs
+        )
+        assert job_fingerprint(serial) == job_fingerprint(process)
+
+    def test_empty_input_parity(self):
+        serial = Cluster(2).run_job(_wordcount_job(), [])
+        process = Cluster(2, executor=ParallelExecutor(WORKERS)).run_job(
+            _wordcount_job(), []
+        )
+        assert job_fingerprint(serial) == job_fingerprint(process)
+
+    def test_per_job_executor_override(self):
+        cluster = Cluster(2)  # serial by default
+        override = cluster.run_job(
+            _wordcount_job(), _LINES, executor=ParallelExecutor(WORKERS)
+        )
+        default = cluster.run_job(_wordcount_job(), _LINES)
+        assert job_fingerprint(override) == job_fingerprint(default)
+
+
+class TestExecutorApi:
+    def test_make_executor_names(self):
+        assert make_executor("serial").name == "serial"
+        assert make_executor("process", 3).name == "process"
+        assert make_executor("process", 3).workers == 3
+
+    def test_make_executor_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_executor("threads")
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+    def test_single_worker_degrades_in_process(self):
+        # One worker cannot beat in-process execution; results are identical.
+        serial = Cluster(2).run_job(_wordcount_job(), _LINES)
+        degraded = Cluster(2, executor=ParallelExecutor(1)).run_job(
+            _wordcount_job(), _LINES
+        )
+        assert job_fingerprint(serial) == job_fingerprint(degraded)

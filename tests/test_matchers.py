@@ -9,6 +9,8 @@ from repro.similarity.matchers import (
     WeightedMatcher,
     books_matcher,
     citeseer_matcher,
+    clear_similarity_cache,
+    similarity_cache_counters,
 )
 
 
@@ -133,3 +135,101 @@ class TestPresets:
         assert len(matcher.rules) == 8
         comparators = {r.comparator for r in matcher.rules}
         assert comparators == {"edit", "exact"}
+
+
+class TestSimilarityMemoCache:
+    """The (comparator, v1, v2) memo skips wall-clock work only: scores and
+    charged virtual cost are identical with a cold or warm cache."""
+
+    def _pairs(self, n=30):
+        import random
+
+        from repro.data import make_books
+
+        dataset = make_books(200, seed=5)
+        rng = random.Random(9)
+        return [tuple(rng.sample(dataset.entities, 2)) for _ in range(n)]
+
+    def test_cached_and_uncached_scores_identical(self):
+        matcher = books_matcher()
+        pairs = self._pairs()
+        clear_similarity_cache()
+        cold = [matcher.similarity(a, b) for a, b in pairs]
+        warm = [matcher.similarity(a, b) for a, b in pairs]  # all memo hits
+        assert cold == warm
+        clear_similarity_cache()
+        recomputed = [matcher.similarity(a, b) for a, b in pairs]
+        assert recomputed == cold
+
+    def test_cached_and_uncached_cost_identical(self):
+        matcher = books_matcher()
+        pairs = self._pairs()
+        clear_similarity_cache()
+        cold = [matcher.comparison_cost_factor(a, b) for a, b in pairs]
+        for a, b in pairs:
+            matcher.similarity(a, b)  # warm the memo
+        warm = [matcher.comparison_cost_factor(a, b) for a, b in pairs]
+        assert cold == warm  # cost is derived from lengths, never the cache
+
+    def test_hit_counter_surfaced_through_counters(self):
+        clear_similarity_cache()
+        matcher = citeseer_matcher()
+        a, b = self._pairs(1)[0]
+        matcher.similarity(a, b)
+        before = similarity_cache_counters()
+        assert before.get("similarity_cache", "misses") > 0
+        matcher.similarity(a, b)
+        after = similarity_cache_counters()
+        assert after.get("similarity_cache", "hits") > before.get(
+            "similarity_cache", "hits"
+        )
+        assert after.get("similarity_cache", "misses") == before.get(
+            "similarity_cache", "misses"
+        )
+
+    def test_memo_keys_include_comparator(self):
+        edit = AttributeRule("t", weight=1.0, comparator="edit")
+        jw = AttributeRule("t", weight=1.0, comparator="jaro_winkler")
+        e1, e2 = _e(1, t="dixon"), _e(2, t="dicksonx")
+        assert edit.similarity(e1, e2) != jw.similarity(e1, e2)
+
+
+class TestBoundedMatch:
+    """Cheap-comparator-first short-circuiting never changes the decision."""
+
+    def test_agrees_with_full_similarity_on_random_pairs(self):
+        import random
+
+        from repro.data import make_books, make_people
+        from repro.similarity.matchers import people_matcher
+
+        for maker, matcher in (
+            (make_books, books_matcher()),
+            (make_people, people_matcher()),
+        ):
+            dataset = maker(300, seed=13)
+            rng = random.Random(17)
+            pairs = [tuple(rng.sample(dataset.entities, 2)) for _ in range(150)]
+            # Seed some true duplicate pairs so both outcomes are exercised.
+            for eid, cluster in list(dataset.clusters.items())[:50]:
+                peers = [
+                    e
+                    for e in dataset.entities
+                    if dataset.clusters[e.id] == cluster and e.id != eid
+                ]
+                if peers:
+                    entity = next(e for e in dataset.entities if e.id == eid)
+                    pairs.append((entity, peers[0]))
+            decisions = [matcher.is_match(a, b) for a, b in pairs]
+            expected = [matcher.similarity(a, b) >= matcher.threshold for a, b in pairs]
+            assert decisions == expected
+            assert any(expected), "want at least one matching pair in the sample"
+
+    def test_evaluation_order_is_cheapest_first(self):
+        matcher = books_matcher()
+        ranks = []
+        from repro.similarity.matchers import _COMPARATOR_RANK
+
+        for index in matcher._eval_order:
+            ranks.append(_COMPARATOR_RANK[matcher.rules[index].comparator])
+        assert ranks == sorted(ranks)
