@@ -16,7 +16,7 @@ import pytest
 
 from repro.blocking import BlockingScheme, prefix_function
 from repro.core import citeseer_config
-from repro.evaluation import format_table, run_progressive
+from repro.evaluation import ExperimentRun, RunSpec, format_table
 
 MACHINES = 10
 
@@ -49,9 +49,12 @@ def test_blocking_depth_ablation(
             config = citeseer_config(
                 matcher=citeseer_cached_matcher, scheme=_scheme_with_depth(depth)
             )
-            runs[depth] = run_progressive(
-                citeseer_dataset, config, MACHINES, label=f"depth={depth}"
-            )
+            runs[depth] = ExperimentRun(
+                RunSpec(
+                    citeseer_dataset, config,
+                    machines=MACHINES, label=f"depth={depth}",
+                )
+            ).run()
         return runs
 
     runs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)

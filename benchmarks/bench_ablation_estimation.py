@@ -18,7 +18,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import citeseer_config
-from repro.evaluation import format_table, run_progressive
+from repro.evaluation import ExperimentRun, RunSpec, format_table
 
 MACHINES = 10
 
@@ -32,9 +32,9 @@ def test_estimation_ablation(
             config = citeseer_config(
                 matcher=citeseer_cached_matcher, estimator=kind
             )
-            runs[kind] = run_progressive(
-                citeseer_dataset, config, MACHINES, label=kind
-            )
+            runs[kind] = ExperimentRun(
+                RunSpec(citeseer_dataset, config, machines=MACHINES, label=kind)
+            ).run()
         return runs
 
     runs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)

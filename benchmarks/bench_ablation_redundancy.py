@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import citeseer_config
-from repro.evaluation import format_table, run_progressive
+from repro.evaluation import ExperimentRun, RunSpec, format_table
 
 MACHINES = 10
 
@@ -31,9 +31,9 @@ def test_redundancy_ablation(
                 matcher=citeseer_cached_matcher, redundancy_free=redundancy_free
             )
             label = "redundancy-free" if redundancy_free else "redundant"
-            runs[redundancy_free] = run_progressive(
-                citeseer_dataset, config, MACHINES, label=label
-            )
+            runs[redundancy_free] = ExperimentRun(
+                RunSpec(citeseer_dataset, config, machines=MACHINES, label=label)
+            ).run()
         return runs
 
     runs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)

@@ -14,7 +14,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ProgressiveER, citeseer_config
-from repro.evaluation import format_table, make_cluster
+from repro.mapreduce import Cluster
+from repro.evaluation import format_table
 
 MACHINES = 10
 
@@ -26,7 +27,7 @@ def test_routing_ablation(benchmark, citeseer_dataset, citeseer_cached_matcher, 
             config = citeseer_config(
                 matcher=citeseer_cached_matcher, routing=routing
             )
-            results[routing] = ProgressiveER(config, make_cluster(MACHINES)).run(
+            results[routing] = ProgressiveER(config, Cluster(MACHINES)).run(
                 citeseer_dataset
             )
         return results
@@ -52,12 +53,12 @@ def test_routing_ablation(benchmark, citeseer_dataset, citeseer_cached_matcher, 
 
     tree, block = results["tree"], results["block"]
     assert tree.found_pairs == block.found_pairs, "routing must not change results"
-    assert block.job2.counters.get("map", "emitted") > tree.job2.counters.get(
-        "map", "emitted"
+    assert block.job2.counters.get("engine", "map_emitted") > tree.job2.counters.get(
+        "engine", "map_emitted"
     ), "per-block routing must ship more records"
     benchmark.extra_info["shuffle_saving"] = round(
         1.0
-        - tree.job2.counters.get("map", "emitted")
-        / block.job2.counters.get("map", "emitted"),
+        - tree.job2.counters.get("engine", "map_emitted")
+        / block.job2.counters.get("engine", "map_emitted"),
         4,
     )

@@ -18,9 +18,9 @@ from repro.baselines import BasicConfig
 from repro.blocking import books_scheme
 from repro.core import books_config
 from repro.evaluation import (
+    ExperimentRun,
+    RunSpec,
     format_curves,
-    run_basic,
-    run_progressive,
     sample_times,
 )
 from repro.mechanisms import PSNM
@@ -46,12 +46,14 @@ def test_fig10(benchmark, machines, books_dataset, books_cached_matcher, report)
 
     def run_subfigure():
         runs = [
-            run_progressive(
-                books_dataset,
-                books_config(matcher=books_cached_matcher),
-                machines,
-                label="Our Approach",
-            )
+            ExperimentRun(
+                RunSpec(
+                    books_dataset,
+                    books_config(matcher=books_cached_matcher),
+                    machines=machines,
+                    label="Our Approach",
+                )
+            ).run()
         ]
         for threshold in THRESHOLDS:
             config = BasicConfig(
@@ -62,9 +64,12 @@ def test_fig10(benchmark, machines, books_dataset, books_cached_matcher, report)
                 popcorn_threshold=threshold,
             )
             runs.append(
-                run_basic(
-                    books_dataset, config, machines, label=f"Basic {threshold}"
-                )
+                ExperimentRun(
+                    RunSpec(
+                        books_dataset, config,
+                        machines=machines, label=f"Basic {threshold}",
+                    )
+                ).run()
             )
         return runs
 
@@ -105,12 +110,14 @@ def test_fig10_gap_grows_with_theta(
         leads = {}
         for machines in MACHINE_COUNTS:
             runs = [
-                run_progressive(
-                    books_dataset,
-                    books_config(matcher=books_cached_matcher),
-                    machines,
-                    label="ours",
-                )
+                ExperimentRun(
+                    RunSpec(
+                        books_dataset,
+                        books_config(matcher=books_cached_matcher),
+                        machines=machines,
+                        label="ours",
+                    )
+                ).run()
             ]
             config = BasicConfig(
                 scheme=books_scheme(),
@@ -119,7 +126,11 @@ def test_fig10_gap_grows_with_theta(
                 window=15,
                 popcorn_threshold=0.0005,
             )
-            runs.append(run_basic(books_dataset, config, machines, label="basic"))
+            runs.append(
+                ExperimentRun(
+                    RunSpec(books_dataset, config, machines=machines, label="basic")
+                ).run()
+            )
             leads[machines] = _gap_area(runs, runs[0].total_time)
         return leads
 

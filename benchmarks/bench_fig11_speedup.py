@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import books_config
-from repro.evaluation import format_table, recall_speedup, run_progressive
+from repro.evaluation import ExperimentRun, RunSpec, format_table, recall_speedup
 
 MACHINE_COUNTS = [5, 10, 15, 20, 25]
 RECALL_LEVELS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
@@ -26,7 +26,9 @@ def test_fig11(benchmark, books_dataset, books_cached_matcher, report):
 
     def run_sweep():
         return {
-            machines: run_progressive(books_dataset, config, machines).curve
+            machines: ExperimentRun(
+                RunSpec(books_dataset, config, machines=machines)
+            ).run().curve
             for machines in MACHINE_COUNTS
         }
 

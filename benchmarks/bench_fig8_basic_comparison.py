@@ -19,10 +19,10 @@ from repro.baselines import BasicConfig
 from repro.blocking import citeseer_scheme
 from repro.core import citeseer_config
 from repro.evaluation import (
+    ExperimentRun,
+    RunSpec,
     format_curves,
     format_final_summary,
-    run_basic,
-    run_progressive,
     sample_times,
 )
 from repro.mechanisms import SortedNeighborHint
@@ -49,9 +49,9 @@ def _basic_config(matcher, window, threshold):
 @pytest.fixture(scope="module")
 def ours_run(citeseer_dataset, citeseer_cached_matcher):
     config = citeseer_config(matcher=citeseer_cached_matcher)
-    return run_progressive(
-        citeseer_dataset, config, MACHINES, label="Our Approach"
-    )
+    return ExperimentRun(
+        RunSpec(citeseer_dataset, config, machines=MACHINES, label="Our Approach")
+    ).run()
 
 
 @pytest.mark.parametrize("subfigure", list(SUBFIGURES))
@@ -63,7 +63,11 @@ def test_fig8(benchmark, subfigure, citeseer_dataset, citeseer_cached_matcher, o
         for threshold in thresholds:
             label = f"Basic {'F' if threshold is None else threshold} (w={window})"
             config = _basic_config(citeseer_cached_matcher, window, threshold)
-            runs.append(run_basic(citeseer_dataset, config, MACHINES, label=label))
+            runs.append(
+                ExperimentRun(
+                    RunSpec(citeseer_dataset, config, machines=MACHINES, label=label)
+                ).run()
+            )
         return runs
 
     runs = benchmark.pedantic(run_subfigure, rounds=1, iterations=1)

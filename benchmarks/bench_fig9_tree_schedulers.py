@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import citeseer_config
-from repro.evaluation import format_curves, run_progressive, sample_times
+from repro.evaluation import ExperimentRun, RunSpec, format_curves, sample_times
 
 MACHINE_COUNTS = [10, 15, 20]
 
@@ -27,13 +27,15 @@ def test_fig9(benchmark, machines, citeseer_dataset, citeseer_cached_matcher, re
 
     def run_subfigure():
         return {
-            strategy: run_progressive(
-                citeseer_dataset,
-                config,
-                machines,
-                strategy=strategy,
-                label=label,
-            )
+            strategy: ExperimentRun(
+                RunSpec(
+                    citeseer_dataset,
+                    config,
+                    machines=machines,
+                    strategy=strategy,
+                    label=label,
+                )
+            ).run()
             for strategy, label in (
                 ("ours", "Our Algorithm"),
                 ("nosplit", "NoSplit"),

@@ -19,9 +19,9 @@ from repro.blocking import people_scheme
 from repro.core import people_config
 from repro.data import make_people
 from repro.evaluation import (
+    ExperimentRun,
+    RunSpec,
     format_curves,
-    run_basic,
-    run_progressive,
     sample_times,
 )
 from repro.mechanisms import PSNM
@@ -46,12 +46,14 @@ def test_people_generalization(
 ):
     def run_comparison():
         runs = [
-            run_progressive(
-                people_dataset,
-                people_config(matcher=people_cached_matcher),
-                MACHINES,
-                label="Our Approach",
-            )
+            ExperimentRun(
+                RunSpec(
+                    people_dataset,
+                    people_config(matcher=people_cached_matcher),
+                    machines=MACHINES,
+                    label="Our Approach",
+                )
+            ).run()
         ]
         for threshold in (None, 0.01):
             config = BasicConfig(
@@ -62,7 +64,11 @@ def test_people_generalization(
                 popcorn_threshold=threshold,
             )
             label = f"Basic {'F' if threshold is None else threshold}"
-            runs.append(run_basic(people_dataset, config, MACHINES, label=label))
+            runs.append(
+                ExperimentRun(
+                    RunSpec(people_dataset, config, machines=MACHINES, label=label)
+                ).run()
+            )
         return runs
 
     runs = benchmark.pedantic(run_comparison, rounds=1, iterations=1)

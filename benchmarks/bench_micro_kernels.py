@@ -20,7 +20,7 @@ from repro.core.config import citeseer_config
 from repro.core.estimation import EstimationModel, UniformEstimator
 from repro.core.schedule import generate_schedule
 from repro.core.statistics import run_statistics_job
-from repro.evaluation import run_progressive
+from repro.evaluation import ExperimentRun, RunSpec
 from repro.mapreduce import Cluster, CostModel, ParallelExecutor, SerialExecutor
 from repro.similarity import (
     citeseer_matcher,
@@ -128,7 +128,9 @@ def _timed_fig10_run(dataset, machines, executor):
 
     clear_similarity_cache()
     start = time.perf_counter()
-    run = run_progressive(dataset, books_config(), machines, executor=executor)
+    run = ExperimentRun(
+        RunSpec(dataset, books_config(), machines=machines, executor=executor)
+    ).run()
     elapsed = time.perf_counter() - start
     return run, elapsed
 

@@ -22,28 +22,31 @@ from repro.blocking import citeseer_scheme
 from repro.core import citeseer_config
 from repro.evaluation import (
     CurveRun,
+    ExperimentRun,
+    RunSpec,
     format_curves,
-    make_cluster,
     recall_curve,
-    run_progressive,
     sample_times,
 )
+from repro.mapreduce import Cluster
 
 MACHINES = 10
 
 
 def test_related_mrsn(benchmark, citeseer_dataset, citeseer_cached_matcher, report):
     def run_comparison():
-        ours = run_progressive(
-            citeseer_dataset,
-            citeseer_config(matcher=citeseer_cached_matcher),
-            MACHINES,
-            label="Our Approach",
-        )
+        ours = ExperimentRun(
+            RunSpec(
+                citeseer_dataset,
+                citeseer_config(matcher=citeseer_cached_matcher),
+                machines=MACHINES,
+                label="Our Approach",
+            )
+        ).run()
         config = MrsnConfig(
             scheme=citeseer_scheme(), matcher=citeseer_cached_matcher, window=15
         )
-        mrsn_result = MultiPassMRSN(config, make_cluster(MACHINES)).run(
+        mrsn_result = MultiPassMRSN(config, Cluster(MACHINES)).run(
             citeseer_dataset
         )
         mrsn = CurveRun(

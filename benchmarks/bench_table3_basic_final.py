@@ -13,7 +13,7 @@ import pytest
 
 from repro.baselines import BasicConfig
 from repro.blocking import citeseer_scheme
-from repro.evaluation import format_table, run_basic
+from repro.evaluation import ExperimentRun, RunSpec, format_table
 from repro.mechanisms import SortedNeighborHint
 
 MACHINES = 10
@@ -32,9 +32,9 @@ def test_table3(benchmark, citeseer_dataset, citeseer_cached_matcher, report):
                     window=window,
                     popcorn_threshold=threshold,
                 )
-                results[(window, threshold)] = run_basic(
-                    citeseer_dataset, config, MACHINES
-                )
+                results[(window, threshold)] = ExperimentRun(
+                    RunSpec(citeseer_dataset, config, machines=MACHINES)
+                ).run()
         return results
 
     results = benchmark.pedantic(run_table, rounds=1, iterations=1)

@@ -16,7 +16,7 @@ Run:  python examples/books_budget.py
 from repro import BasicConfig, PSNM, books_scheme, make_books
 from repro.core import books_config
 from repro.core.config import linear_weights
-from repro.evaluation import quality, run_basic, run_progressive
+from repro.evaluation import ExperimentRun, RunSpec, quality
 from repro.mapreduce import results_available_at
 from repro.similarity import books_matcher
 
@@ -28,21 +28,26 @@ def main() -> None:
     matcher = books_matcher(cache=True)
     true_pairs = dataset.true_pairs
 
-    ours = run_progressive(
-        dataset, books_config(matcher=matcher), MACHINES, label="ours"
-    )
-    basic = run_basic(
-        dataset,
-        BasicConfig(
-            scheme=books_scheme(),
-            matcher=matcher,
-            mechanism=PSNM(),
-            window=15,
-            popcorn_threshold=0.0005,
-        ),
-        MACHINES,
-        label="basic",
-    )
+    ours = ExperimentRun(
+        RunSpec(
+            dataset, books_config(matcher=matcher),
+            machines=MACHINES, label="ours",
+        )
+    ).run()
+    basic = ExperimentRun(
+        RunSpec(
+            dataset,
+            BasicConfig(
+                scheme=books_scheme(),
+                matcher=matcher,
+                mechanism=PSNM(),
+                window=15,
+                popcorn_threshold=0.0005,
+            ),
+            machines=MACHINES,
+            label="basic",
+        )
+    ).run()
 
     print(f"{len(dataset)} books, {len(true_pairs)} true duplicate pairs, "
           f"{MACHINES} machines\n")

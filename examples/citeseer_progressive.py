@@ -17,10 +17,10 @@ Run:  python examples/citeseer_progressive.py
 from repro import BasicConfig, SortedNeighborHint, citeseer_scheme, make_citeseer
 from repro.core import citeseer_config
 from repro.evaluation import (
+    ExperimentRun,
+    RunSpec,
     format_curves,
     format_final_summary,
-    run_basic,
-    run_progressive,
     sample_times,
 )
 from repro.similarity import citeseer_matcher
@@ -37,9 +37,12 @@ def main() -> None:
     print(f"resolving {len(dataset)} records on {MACHINES} machines...\n")
 
     runs = [
-        run_progressive(
-            dataset, citeseer_config(matcher=matcher), MACHINES, label="ours"
-        )
+        ExperimentRun(
+            RunSpec(
+                dataset, citeseer_config(matcher=matcher),
+                machines=MACHINES, label="ours",
+            )
+        ).run()
     ]
     for threshold, label in ((0.04, "basic 0.04"), (0.001, "basic 0.001"), (None, "basic F")):
         config = BasicConfig(
@@ -49,7 +52,11 @@ def main() -> None:
             window=15,
             popcorn_threshold=threshold,
         )
-        runs.append(run_basic(dataset, config, MACHINES, label=label))
+        runs.append(
+            ExperimentRun(
+                RunSpec(dataset, config, machines=MACHINES, label=label)
+            ).run()
+        )
 
     horizon = min(run.total_time for run in runs)
     print(format_curves(runs, sample_times(horizon, points=10),

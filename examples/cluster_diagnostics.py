@@ -9,7 +9,7 @@ utilization, a Gantt view, and the schedule's shape.
 Run:  python examples/cluster_diagnostics.py
 """
 
-from repro import ProgressiveER, make_citeseer, make_cluster
+from repro import Cluster, ProgressiveER, make_citeseer
 from repro.core import citeseer_config
 from repro.similarity import citeseer_matcher
 from repro.data import format_profile, profile_dataset, suggest_blocking_order
@@ -41,7 +41,7 @@ def main() -> None:
     results = {}
     for strategy in ("ours", "nosplit"):
         approach = ProgressiveER(
-            citeseer_config(matcher=matcher), make_cluster(MACHINES),
+            citeseer_config(matcher=matcher), Cluster(MACHINES),
             strategy=strategy,
         )
         results[strategy] = approach.run(dataset)

@@ -16,12 +16,12 @@ from repro import (
     AttributeRule,
     BasicConfig,
     BlockingScheme,
+    Cluster,
     Dataset,
     Entity,
     ProgressiveER,
     SortedNeighborHint,
     WeightedMatcher,
-    make_cluster,
     prefix_function,
 )
 from repro.core import ApproachConfig, LevelPolicy
@@ -72,7 +72,7 @@ def main() -> None:
         train_fraction=1.0,  # tiny dataset: train the estimator on all of it
     )
 
-    result = ProgressiveER(config, make_cluster(machines=2)).run(dataset)
+    result = ProgressiveER(config, Cluster(machines=2)).run(dataset)
     print("found duplicate pairs:", sorted(result.found_pairs))
     print("ground truth:         ", sorted(dataset.true_pairs))
     found_true = result.found_pairs & dataset.true_pairs
@@ -83,7 +83,7 @@ def main() -> None:
                         mechanism=SortedNeighborHint(), window=8)
     from repro import BasicER
 
-    basic_result = BasicER(basic, make_cluster(machines=2)).run(dataset)
+    basic_result = BasicER(basic, Cluster(machines=2)).run(dataset)
     print("basic found:          ", sorted(basic_result.found_pairs))
 
     # CSV round trip for persistence.

@@ -8,10 +8,10 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
+    Cluster,
     ProgressiveER,
     citeseer_config,
     make_citeseer,
-    make_cluster,
     recall_curve,
     transitive_closure,
 )
@@ -25,7 +25,7 @@ def main() -> None:
     # 2. The paper's CiteSeerX setup: Table II blocking, SN + hint, weighted
     #    edit-distance matcher.  One call runs Job 1 (progressive blocking +
     #    statistics), schedule generation, and Job 2 (resolution).
-    approach = ProgressiveER(citeseer_config(), make_cluster(machines=10))
+    approach = ProgressiveER(citeseer_config(), Cluster(machines=10))
     result = approach.run(dataset)
 
     # 3. Progressiveness: recall as a function of execution time.

@@ -8,14 +8,11 @@ deterministic MapReduce simulator with virtual-time cost accounting.
 
 Quick start::
 
-    from repro import make_citeseer, citeseer_config, ProgressiveER, make_cluster
-    from repro import recall_curve
+    from repro import make_citeseer, citeseer_config, ExperimentRun, RunSpec
 
     dataset = make_citeseer(4000, seed=7)
-    result = ProgressiveER(citeseer_config(), make_cluster(10)).run(dataset)
-    curve = recall_curve(result.duplicate_events, dataset,
-                         end_time=result.total_time)
-    print(curve.final_recall, curve.recall_at(result.total_time / 4))
+    run = ExperimentRun(RunSpec(dataset, citeseer_config(), machines=10)).run()
+    print(run.final_recall, run.curve.recall_at(run.total_time / 4))
 """
 
 from .baselines import BasicConfig, BasicER, BasicResult, run_lpt, run_nosplit, run_ours
@@ -49,7 +46,10 @@ from .data import (
 )
 from .evaluation import (
     CurveRun,
+    ExperimentRun,
     RecallCurve,
+    RunResult,
+    RunSpec,
     make_cluster,
     quality,
     recall_curve,
@@ -58,6 +58,7 @@ from .evaluation import (
     run_progressive,
     transitive_closure,
 )
+from .observability import MetricsRegistry, Tracer, write_chrome_trace
 from .mapreduce import Cluster, CostModel, MapReduceJob
 from .mechanisms import PSNM, FullResolution, PopcornCondition, SortedNeighborHint
 from .similarity import (
@@ -122,6 +123,9 @@ __all__ = [
     "run_nosplit",
     "run_lpt",
     # evaluation
+    "RunSpec",
+    "RunResult",
+    "ExperimentRun",
     "CurveRun",
     "RecallCurve",
     "recall_curve",
@@ -131,4 +135,8 @@ __all__ = [
     "run_progressive",
     "run_basic",
     "transitive_closure",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+    "write_chrome_trace",
 ]

@@ -20,6 +20,7 @@ placement — which is what Figures 8 and 10 measure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..blocking.functions import BlockingScheme
@@ -106,11 +107,18 @@ class BasicReducer(Reducer):
                 signatures[e1.id], signatures[e2.id], position
             )
 
+        found = 0
+
         def on_duplicate(e1: Entity, e2: Entity) -> None:
+            nonlocal found
+            found += 1
+            context.counters.increment("driver", "duplicates")
             pair = pair_key(e1.id, e2.id)
             context.record_event("duplicate", pair)
             context.write(pair)
 
+        trace = context.tracing
+        span_start = context.clock.now if trace else 0.0
         stop = (
             PopcornCondition(config.popcorn_threshold)
             if config.popcorn_threshold is not None
@@ -128,6 +136,14 @@ class BasicReducer(Reducer):
             should_resolve=ok_to_resolve,
             stop=stop,
         )
+        context.counters.increment("driver", "blocks_resolved")
+        if trace:
+            context.record_span(
+                f"resolve:{family}1:{block_key}", "block",
+                span_start, context.clock.now,
+                block=f"{family}1:{block_key}",
+                entities=len(entities), duplicates=found,
+            )
 
 
 def _is_smallest_common_block(
@@ -159,8 +175,10 @@ class BasicResult:
     def total_time(self) -> float:
         return self.job.end_time
 
-    @property
+    @cached_property
     def found_pairs(self) -> Set[Pair]:
+        """Distinct duplicate pairs (computed once; the event list is never
+        mutated after construction)."""
         return {event.payload for event in self.duplicate_events}
 
 

@@ -12,6 +12,8 @@ Examples::
     python -m repro run --dataset ds.csv --family citeseer --machines 10
     python -m repro run --family books --size 3000 --approach lpt
     python -m repro compare --family citeseer --size 1500 --threshold 0.01
+    python -m repro run --family citeseer --size 1000 --trace trace.json --skew
+    python -m repro compare --family books --size 800 --metrics metrics.json
 """
 
 from __future__ import annotations
@@ -26,15 +28,22 @@ from .core import books_config, citeseer_config, people_config
 from .data import Dataset, make_books, make_citeseer, make_people
 from .data.profile import format_profile, profile_dataset, suggest_blocking_order
 from .evaluation import (
+    ExperimentRun,
+    RunSpec,
     format_curves,
     format_final_summary,
-    run_basic,
-    run_progressive,
     sample_times,
 )
 from .evaluation.charts import ascii_chart
-from .mapreduce import BACKENDS, make_executor
+from .mapreduce import BACKENDS
 from .mechanisms import PSNM, SortedNeighborHint
+from .observability import (
+    MetricsRegistry,
+    Tracer,
+    format_trace_summary,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
 
 _FAMILIES = ("citeseer", "books", "people")
 
@@ -66,6 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--points", type=int, default=10, help="curve sample points")
     _add_backend_options(run)
+    _add_observability_options(run)
 
     compare = sub.add_parser("compare", help="ours vs the Basic baseline")
     _add_dataset_options(compare)
@@ -81,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--points", type=int, default=10)
     compare.add_argument("--chart", action="store_true", help="ASCII chart output")
     _add_backend_options(compare)
+    _add_observability_options(compare)
 
     profile = sub.add_parser(
         "profile", help="profile a dataset's attributes and blocking keys"
@@ -113,8 +124,51 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_backend(args: argparse.Namespace):
-    return make_executor(getattr(args, "backend", "serial"), getattr(args, "workers", None))
+def _add_observability_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a trace of the run(s): Chrome trace_event JSON "
+        "(open in chrome://tracing or ui.perfetto.dev), or a JSONL "
+        "event log when PATH ends in .jsonl",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write per-phase counter snapshots (engine.*/driver.*/"
+        "matcher.*) as JSON",
+    )
+    parser.add_argument(
+        "--skew",
+        action="store_true",
+        help="print a per-task Gantt/skew summary of the trace "
+        "(implies tracing)",
+    )
+
+
+def _observers(args: argparse.Namespace):
+    """(tracer, metrics) from the CLI flags; None when not requested."""
+    want_trace = args.trace is not None or args.skew
+    tracer = Tracer() if want_trace else None
+    metrics = MetricsRegistry() if args.metrics is not None else None
+    return tracer, metrics
+
+
+def _write_observations(args: argparse.Namespace, tracer, metrics) -> None:
+    if tracer is not None and args.trace is not None:
+        if args.trace.endswith(".jsonl"):
+            write_trace_jsonl(tracer, args.trace)
+        else:
+            write_chrome_trace(tracer, args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if metrics is not None and args.metrics is not None:
+        metrics.write_json(args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    if tracer is not None and args.skew:
+        print()
+        print(format_trace_summary(tracer))
 
 
 _MAKERS = {"citeseer": make_citeseer, "books": make_books, "people": make_people}
@@ -154,43 +208,62 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_spec(args: argparse.Namespace, config, **overrides) -> RunSpec:
+    """A RunSpec wired from the shared CLI options."""
+    return RunSpec(
+        dataset=overrides.pop("dataset"),
+        config=config,
+        machines=args.machines,
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "workers", None),
+        **overrides,
+    )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
-    executor = _make_backend(args)
+    tracer, metrics = _observers(args)
     if args.approach == "basic":
         config = _basic_config(args.family, args.window, args.threshold)
-        run = run_basic(dataset, config, args.machines, executor=executor)
+        spec = _run_spec(args, config, dataset=dataset, tracer=tracer, metrics=metrics)
     else:
-        run = run_progressive(
-            dataset,
+        spec = _run_spec(
+            args,
             _progressive_config(args.family),
-            args.machines,
+            dataset=dataset,
             strategy=args.approach,
-            executor=executor,
+            tracer=tracer,
+            metrics=metrics,
         )
+    run = ExperimentRun(spec).run()
     times = sample_times(run.total_time, points=args.points)
     print(format_curves([run], times, title=f"{run.label} on {dataset.name}"))
     print()
     print(format_final_summary([run]))
+    _write_observations(args, tracer, metrics)
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
-    executor = _make_backend(args)
-    runs = [
-        run_progressive(
-            dataset,
+    tracer, metrics = _observers(args)
+    specs = [
+        _run_spec(
+            args,
             _progressive_config(args.family),
-            args.machines,
+            dataset=dataset,
             label="ours",
-            executor=executor,
+            tracer=tracer,
+            metrics=metrics,
         )
     ]
     thresholds: List[Optional[float]] = [None] + list(args.thresholds or [])
     for threshold in thresholds:
         config = _basic_config(args.family, args.window, threshold)
-        runs.append(run_basic(dataset, config, args.machines, executor=executor))
+        specs.append(
+            _run_spec(args, config, dataset=dataset, tracer=tracer, metrics=metrics)
+        )
+    runs = [ExperimentRun(spec).run() for spec in specs]
     horizon = runs[0].total_time
     if args.chart:
         print(ascii_chart(runs, horizon=horizon, title=f"recall vs time — {dataset.name}"))
@@ -203,6 +276,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         )
     print()
     print(format_final_summary(runs))
+    _write_observations(args, tracer, metrics)
     return 0
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..blocking.functions import BlockingScheme
@@ -56,7 +57,12 @@ class ResolutionMapper(Mapper):
     def setup(self, context: TaskContext) -> None:
         """Charge the progressive-schedule generation performed in the map
         setup (Section III-B) — the constant overhead of our approach."""
+        start = context.clock.now
         context.charge(self._schedule.generation_cost)
+        context.record_span(
+            "schedule-generation", "setup", start, context.clock.now,
+            blocks=len(self._schedule.blocks),
+        )
 
     def map(self, record: AnnotatedEntity, context: TaskContext) -> None:
         entity, main_keys = record
@@ -111,7 +117,13 @@ class SchedulePartitioner(Partitioner):
         self._schedule = schedule
 
     def partition(self, key: str, num_reduce_tasks: int) -> int:
-        return self._schedule.assignment[key]
+        try:
+            return self._schedule.assignment[key]
+        except KeyError:
+            raise ValueError(
+                f"tree {key!r} has no reduce-task assignment in the "
+                "schedule; Job-2 mappers must only emit scheduled tree uids"
+            ) from None
 
 
 class ResolutionReducer(Reducer):
@@ -217,11 +229,18 @@ def resolve_scheduled_block(
     def on_resolved(e1: Entity, e2: Entity, is_dup: bool) -> None:
         tree_resolved.add(pair_key(e1.id, e2.id))
 
+    found = 0
+
     def on_duplicate(e1: Entity, e2: Entity) -> None:
+        nonlocal found
+        found += 1
+        context.counters.increment("driver", "duplicates")
         pair = pair_key(e1.id, e2.id)
         context.record_event("duplicate", pair)
         context.write(pair)
 
+    trace = context.tracing
+    span_start = context.clock.now if trace else 0.0
     stop = None if estimate.full else DistinctBudget(estimate.th)
     resolve_block(
         entities,
@@ -236,6 +255,12 @@ def resolve_scheduled_block(
         stop=stop,
         on_resolved=on_resolved,
     )
+    context.counters.increment("driver", "blocks_resolved")
+    if trace:
+        context.record_span(
+            f"resolve:{block_uid}", "block", span_start, context.clock.now,
+            block=block_uid, entities=len(entities), duplicates=found,
+        )
 
 
 class BlockRoutingMapper(ResolutionMapper):
@@ -350,9 +375,10 @@ class ProgressiveResult:
         """End of the second job (start of Job 1 is time zero)."""
         return self.job2.end_time
 
-    @property
+    @cached_property
     def found_pairs(self) -> Set[Pair]:
-        """All distinct pairs reported as duplicates."""
+        """All distinct pairs reported as duplicates (computed once; the
+        event list is never mutated after construction)."""
         return {event.payload for event in self.duplicate_events}
 
 

@@ -138,6 +138,8 @@ class BlockStatsReducer(Reducer):
         self, key: Tuple[str, str], values: Sequence[AnnotatedEntity], context: TaskContext
     ) -> None:
         family, block_key = key
+        trace = context.tracing
+        span_start = context.clock.now if trace else 0.0
         context.charge(context.cost_model.stat_record * len(values))
         if len(values) < 2:
             return  # singleton main blocks produce no pairs
@@ -146,6 +148,12 @@ class BlockStatsReducer(Reducer):
         self._emit_block(
             family, 1, block_key, list(values), None, dominating, functions, context
         )
+        if trace:
+            context.record_span(
+                f"stats:{family}:{block_key}", "block",
+                span_start, context.clock.now,
+                family=family, key=block_key, entities=len(values),
+            )
 
     def _emit_block(
         self,
@@ -174,6 +182,7 @@ class BlockStatsReducer(Reducer):
                 overlap=overlap,
             )
         )
+        context.counters.increment("driver", "stat_blocks")
         context.charge(context.cost_model.stat_record * len(members))
         self._emit_children(family, level, key, uid, members, dominating, functions, context)
 

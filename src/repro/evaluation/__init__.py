@@ -5,6 +5,9 @@ from .charts import ascii_chart
 from .clustering import UnionFind, transitive_closure
 from .experiment import (
     CurveRun,
+    ExperimentRun,
+    RunResult,
+    RunSpec,
     make_cluster,
     run_basic,
     run_progressive,
@@ -29,6 +32,9 @@ from .timeline import (
 __all__ = [
     "UnionFind",
     "transitive_closure",
+    "RunSpec",
+    "RunResult",
+    "ExperimentRun",
     "CurveRun",
     "make_cluster",
     "run_progressive",

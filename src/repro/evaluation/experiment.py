@@ -1,32 +1,122 @@
-"""Experiment harness: one-call runners used by the benchmarks.
+"""Experiment harness: the unified run API behind the benchmarks and CLI.
 
-Each helper builds the cluster, runs an approach, and returns the recall
-curve (plus the raw result for anything deeper).  Everything is seeded and
-deterministic.
+One entry point replaces the old ``make_cluster`` / ``run_progressive`` /
+``run_basic`` keyword sprawl: describe a run with a :class:`RunSpec`,
+execute it with :class:`ExperimentRun`, get a :class:`RunResult` back —
+the same shape for the progressive approach, its scheduler variants, and
+the Basic baseline.  Everything is seeded and deterministic::
+
+    spec = RunSpec(dataset, citeseer_config(), machines=10)
+    run = ExperimentRun(spec).run()
+    run.final_recall, run.total_time, run.found_pairs
+
+Attach a :class:`~repro.observability.Tracer` or
+:class:`~repro.observability.MetricsRegistry` to the spec and the run is
+recorded (see :mod:`repro.observability`); several specs may share one
+tracer — each run is labeled via ``begin_run``.
+
+The old helpers survive as thin deprecated wrappers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import List, Optional, Set, Union
 
 from ..baselines.basic import BasicConfig, BasicER, BasicResult
 from ..core.config import ApproachConfig
 from ..core.driver import ProgressiveER, ProgressiveResult
 from ..data.dataset import Dataset
+from ..data.entity import Pair
 from ..mapreduce.clock import CostModel
 from ..mapreduce.engine import Cluster
-from ..mapreduce.executors import Executor
+from ..mapreduce.executors import Executor, make_executor
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import Tracer
+from ..similarity.matchers import similarity_cache_counters
 from .metrics import RecallCurve, recall_curve
+
+#: Slots per machine of the paper's cluster (Section VI-A1).
+PAPER_MAP_SLOTS = 2
+PAPER_REDUCE_SLOTS = 2
 
 
 @dataclass
-class CurveRun:
-    """A labeled recall curve plus the raw run behind it."""
+class RunSpec:
+    """Declarative description of one experiment run.
+
+    The approach is inferred from ``config``'s type: a
+    :class:`~repro.baselines.basic.BasicConfig` runs the Basic baseline, an
+    :class:`~repro.core.config.ApproachConfig` runs the progressive
+    approach under ``strategy``.
+
+    Attributes:
+        dataset: the dataset to resolve.
+        config: approach configuration (selects the approach, see above).
+        machines: simulated cluster size (2 map + 2 reduce slots each).
+        strategy: tree scheduler for the progressive approach — ``"ours"``,
+            ``"nosplit"`` or ``"lpt"`` (ignored by Basic).
+        seed: seed for training-sample and cost-factor sampling.
+        label: run label for reports and traces (default: derived).
+        cost_model: virtual-time cost model (default: :class:`CostModel`).
+        backend: execution-backend name (``"serial"`` / ``"process"``),
+            used when ``executor`` is not given.
+        workers: worker processes for the ``process`` backend.
+        executor: explicit executor instance (overrides ``backend``).
+        tracer: record spans of this run (shared tracers accumulate).
+        metrics: snapshot counters per phase (shared registries accumulate).
+    """
+
+    dataset: Dataset
+    config: Union[ApproachConfig, BasicConfig]
+    machines: int = 10
+    strategy: str = "ours"
+    seed: int = 0
+    label: Optional[str] = None
+    cost_model: Optional[CostModel] = None
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    executor: Optional[Executor] = None
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+
+    @property
+    def is_basic(self) -> bool:
+        """True when ``config`` selects the Basic baseline."""
+        return isinstance(self.config, BasicConfig)
+
+    def resolved_label(self) -> str:
+        """The explicit label, or one derived from the approach."""
+        if self.label is not None:
+            return self.label
+        if self.is_basic:
+            threshold = self.config.popcorn_threshold
+            return f"basic[{'F' if threshold is None else threshold}]"
+        return f"ours[{self.strategy}]"
+
+    def with_label(self, label: str) -> "RunSpec":
+        """A copy of this spec under another label."""
+        return replace(self, label=label)
+
+
+@dataclass
+class RunResult:
+    """One executed run: a labeled recall curve plus the raw result.
+
+    ``result`` is the approach-specific object
+    (:class:`~repro.core.driver.ProgressiveResult` or
+    :class:`~repro.baselines.basic.BasicResult`); the properties below
+    expose the fields every consumer needs without caring which.
+    """
 
     label: str
     curve: RecallCurve
-    result: object
+    result: Union[ProgressiveResult, BasicResult, object]
+    spec: Optional[RunSpec] = field(default=None, repr=False)
+    tracer: Optional[Tracer] = field(default=None, repr=False)
+    metrics: Optional[MetricsRegistry] = field(default=None, repr=False)
 
     @property
     def final_recall(self) -> float:
@@ -36,6 +126,93 @@ class CurveRun:
     def total_time(self) -> float:
         return self.curve.end_time
 
+    @property
+    def duplicate_events(self):
+        """The run's first-discovery duplicate events, in time order."""
+        return self.result.duplicate_events
+
+    @cached_property
+    def found_pairs(self) -> Set[Pair]:
+        """Distinct duplicate pairs the run reported (computed once)."""
+        return self.result.found_pairs
+
+
+#: Backwards-compatible alias: the first three fields (label, curve,
+#: result) are exactly the old ``CurveRun``'s, so existing keyword and
+#: positional constructions keep working.
+CurveRun = RunResult
+
+
+class ExperimentRun:
+    """Executes one :class:`RunSpec` on a freshly built cluster.
+
+    Splitting construction from :meth:`run` keeps the expensive part
+    explicit and lets callers inspect :attr:`cluster` (or re-run the same
+    spec on a fresh cluster by constructing a new ``ExperimentRun``).
+    """
+
+    def __init__(self, spec: RunSpec) -> None:
+        self.spec = spec
+        self.cluster = _build_cluster(spec)
+
+    def run(self) -> RunResult:
+        """Execute the run and build its recall curve."""
+        spec = self.spec
+        label = spec.resolved_label()
+        if spec.tracer is not None:
+            spec.tracer.begin_run(label)
+        if spec.metrics is not None:
+            spec.metrics.begin_run(label)
+        if spec.is_basic:
+            result = BasicER(spec.config, self.cluster).run(spec.dataset)
+        else:
+            result = ProgressiveER(
+                spec.config, self.cluster, strategy=spec.strategy, seed=spec.seed
+            ).run(spec.dataset)
+        if spec.metrics is not None:
+            # Process-wide matcher statistics at run end (driver process
+            # only; worker caches diverge and are intentionally not merged).
+            spec.metrics.snapshot("matcher", similarity_cache_counters())
+        curve = recall_curve(
+            result.duplicate_events, spec.dataset, end_time=result.total_time
+        )
+        return RunResult(
+            label=label,
+            curve=curve,
+            result=result,
+            spec=spec,
+            tracer=spec.tracer,
+            metrics=spec.metrics,
+        )
+
+
+def _build_cluster(spec: RunSpec) -> Cluster:
+    """A paper-shaped cluster configured from the spec."""
+    executor = spec.executor
+    if executor is None and spec.backend is not None:
+        executor = make_executor(spec.backend, spec.workers)
+    return Cluster(
+        spec.machines,
+        map_slots=PAPER_MAP_SLOTS,
+        reduce_slots=PAPER_REDUCE_SLOTS,
+        cost_model=spec.cost_model if spec.cost_model is not None else CostModel(),
+        executor=executor,
+        tracer=spec.tracer,
+        metrics=spec.metrics,
+    )
+
+
+def sample_times(end_time: float, points: int = 12) -> List[float]:
+    """Evenly spaced sampling times over (0, end_time] for curve tables."""
+    if points < 1:
+        raise ValueError("need at least one sample point")
+    return [end_time * (i + 1) / points for i in range(points)]
+
+
+# ---------------------------------------------------------------------------
+# Deprecated wrappers (the pre-RunSpec API)
+# ---------------------------------------------------------------------------
+
 
 def make_cluster(
     machines: int,
@@ -43,11 +220,18 @@ def make_cluster(
     cost_model: Optional[CostModel] = None,
     executor: Optional[Executor] = None,
 ) -> Cluster:
-    """A paper-shaped cluster: 2 map + 2 reduce slots per machine."""
+    """Deprecated: build :class:`~repro.mapreduce.engine.Cluster` directly
+    (its defaults are already paper-shaped), or use :class:`ExperimentRun`."""
+    warnings.warn(
+        "make_cluster() is deprecated; construct Cluster(machines) directly "
+        "or run experiments through ExperimentRun(RunSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Cluster(
         machines,
-        map_slots=2,
-        reduce_slots=2,
+        map_slots=PAPER_MAP_SLOTS,
+        reduce_slots=PAPER_REDUCE_SLOTS,
         cost_model=cost_model if cost_model is not None else CostModel(),
         executor=executor,
     )
@@ -63,18 +247,25 @@ def run_progressive(
     label: Optional[str] = None,
     cost_model: Optional[CostModel] = None,
     executor: Optional[Executor] = None,
-) -> CurveRun:
-    """Run our approach (or a scheduler variant) and build its curve."""
-    cluster = make_cluster(machines, cost_model=cost_model, executor=executor)
-    result = ProgressiveER(config, cluster, strategy=strategy, seed=seed).run(dataset)
-    curve = recall_curve(
-        result.duplicate_events, dataset, end_time=result.total_time
+) -> RunResult:
+    """Deprecated: use ``ExperimentRun(RunSpec(...)).run()``."""
+    warnings.warn(
+        "run_progressive() is deprecated; use ExperimentRun(RunSpec(...)).run()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return CurveRun(
-        label=label if label is not None else f"ours[{strategy}]",
-        curve=curve,
-        result=result,
-    )
+    return ExperimentRun(
+        RunSpec(
+            dataset,
+            config,
+            machines=machines,
+            strategy=strategy,
+            seed=seed,
+            label=label,
+            cost_model=cost_model,
+            executor=executor,
+        )
+    ).run()
 
 
 def run_basic(
@@ -85,33 +276,34 @@ def run_basic(
     label: Optional[str] = None,
     cost_model: Optional[CostModel] = None,
     executor: Optional[Executor] = None,
-) -> CurveRun:
-    """Run the Basic baseline and build its curve."""
-    cluster = make_cluster(machines, cost_model=cost_model, executor=executor)
-    result = BasicER(config, cluster).run(dataset)
-    curve = recall_curve(
-        result.duplicate_events, dataset, end_time=result.total_time
+) -> RunResult:
+    """Deprecated: use ``ExperimentRun(RunSpec(...)).run()``."""
+    warnings.warn(
+        "run_basic() is deprecated; use ExperimentRun(RunSpec(...)).run()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    threshold = config.popcorn_threshold
-    default_label = f"basic[{'F' if threshold is None else threshold}]"
-    return CurveRun(
-        label=label if label is not None else default_label,
-        curve=curve,
-        result=result,
-    )
-
-
-def sample_times(end_time: float, points: int = 12) -> List[float]:
-    """Evenly spaced sampling times over (0, end_time] for curve tables."""
-    if points < 1:
-        raise ValueError("need at least one sample point")
-    return [end_time * (i + 1) / points for i in range(points)]
+    return ExperimentRun(
+        RunSpec(
+            dataset,
+            config,
+            machines=machines,
+            label=label,
+            cost_model=cost_model,
+            executor=executor,
+        )
+    ).run()
 
 
 __all__ = [
+    "RunSpec",
+    "RunResult",
+    "ExperimentRun",
     "CurveRun",
+    "PAPER_MAP_SLOTS",
+    "PAPER_REDUCE_SLOTS",
+    "sample_times",
     "make_cluster",
     "run_progressive",
     "run_basic",
-    "sample_times",
 ]

@@ -11,6 +11,23 @@ class Counters:
 
     Mirrors Hadoop's job counters: tasks increment local counters and the
     engine aggregates them into the job result.
+
+    Counter groups are namespaced by the layer that owns them:
+
+    * ``engine.*`` — framework bookkeeping incremented by the engine
+      itself (``map_records``, ``map_emitted``, ``map_retries``,
+      ``combine_input``, ``combine_output``, ``reduce_groups``,
+      ``reduce_records``, ``reduce_retries``);
+    * ``driver.*`` — ER-pipeline counters incremented inside tasks
+      (``blocks_resolved``, ``duplicates``, ``stat_blocks``);
+    * ``matcher.*`` — similarity-layer statistics (``cache_hits``,
+      ``cache_misses``, ``cache_entries``); process-wide, surfaced via
+      :func:`repro.similarity.matchers.similarity_cache_counters` and
+      snapshotted by the metrics registry, never merged into job counters
+      (per-worker caches diverge across execution backends).
+
+    Jobs may add their own groups freely; the namespaces above are
+    reserved for the framework.
     """
 
     def __init__(self) -> None:
@@ -36,6 +53,14 @@ class Counters:
     def as_dict(self) -> Dict[Tuple[str, str], int]:
         """Snapshot of all counters."""
         return dict(self._values)
+
+    def as_flat_dict(self) -> Dict[str, int]:
+        """Snapshot keyed ``"group.name"``, sorted — the JSON-export shape
+        used by the metrics registry."""
+        return {
+            f"{group}.{name}": value
+            for (group, name), value in sorted(self._values.items())
+        }
 
     def __len__(self) -> int:
         return len(self._values)

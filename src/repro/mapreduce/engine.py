@@ -23,7 +23,7 @@ serially or on a pool of worker processes.
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 from .clock import CostModel
 from .counters import Counters
@@ -35,8 +35,12 @@ from .executors import (
     default_group_key as _default_key,
     group_by_key as _group_by_key,
 )
-from .job import MapReduceJob, split_input
+from .job import TRACE_CONFIG_KEY, MapReduceJob, split_input
 from .types import Event, JobResult, KeyValue, OutputFile, TaskResult
+
+if TYPE_CHECKING:  # observability depends on mapreduce, never the reverse
+    from ..observability.metrics import MetricsRegistry
+    from ..observability.tracing import Tracer
 
 
 class SlotPool:
@@ -57,17 +61,20 @@ class SlotPool:
         ]
         self._makespan = ready_time
 
-    def schedule(self, cost: float) -> tuple[float, float]:
+    def schedule(self, cost: float) -> tuple[float, float, int]:
         """Place a task of ``cost`` units on the earliest-free slot.
 
-        Returns ``(start_time, end_time)`` in global virtual time.
+        Returns ``(start_time, end_time, slot_index)`` in global virtual
+        time.  The slot index is what the tracer uses as the span's track,
+        so a trace viewer lays tasks out exactly as the simulated slots
+        executed them.
         """
         start, slot = heapq.heappop(self._heap)
         end = start + cost
         heapq.heappush(self._heap, (end, slot))
         if end > self._makespan:
             self._makespan = end
-        return start, end
+        return start, end, slot
 
     @property
     def makespan(self) -> float:
@@ -86,6 +93,13 @@ class Cluster:
         executor: execution backend running the per-task computations
             (default: :class:`~repro.mapreduce.executors.SerialExecutor`).
             Backends only change wall-clock time, never virtual time.
+        tracer: optional :class:`~repro.observability.tracing.Tracer`
+            recording job/phase/task/block spans in virtual time.  Pure
+            observation: attaching one never changes events, counters or
+            timestamps, and ``None`` (the default) costs nothing.
+        metrics: optional
+            :class:`~repro.observability.metrics.MetricsRegistry` receiving
+            cumulative counter snapshots at the end of each phase.
     """
 
     def __init__(
@@ -96,6 +110,8 @@ class Cluster:
         reduce_slots: int = 2,
         cost_model: Optional[CostModel] = None,
         executor: Optional[Executor] = None,
+        tracer: "Optional[Tracer]" = None,
+        metrics: "Optional[MetricsRegistry]" = None,
     ) -> None:
         if machines <= 0:
             raise ValueError(f"machines must be positive, got {machines}")
@@ -104,6 +120,8 @@ class Cluster:
         self.reduce_slots = reduce_slots
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.executor = executor if executor is not None else SerialExecutor()
+        self.tracer = tracer
+        self.metrics = metrics
 
     @property
     def num_map_tasks(self) -> int:
@@ -146,6 +164,9 @@ class Cluster:
         n_red = num_reduce_tasks if num_reduce_tasks is not None else self.num_reduce_tasks
         job.config.setdefault("num_reduce_tasks", n_red)
         job.config.setdefault("num_map_tasks", n_map)
+        # Plain assignment, not setdefault: a job object may be reused
+        # against clusters with and without a tracer.
+        job.config[TRACE_CONFIG_KEY] = self.tracer is not None
         backend = executor if executor is not None else self.executor
 
         counters = Counters()
@@ -154,12 +175,40 @@ class Cluster:
             map_failures or {}, backend,
         )
         map_phase_end = max((t.end_time for t in map_results), default=start_time)
+        if self.metrics is not None:
+            self.metrics.snapshot(
+                f"{job.name}/map",
+                counters,
+                backend=backend.name,
+                tasks=len(map_results),
+                phase_end=map_phase_end,
+            )
 
         reduce_results, files = self._run_reduce_phase(
             job, partitions, n_red, map_phase_end, counters,
             reduce_failures or {}, backend,
         )
         end_time = max((t.end_time for t in reduce_results), default=map_phase_end)
+        if self.metrics is not None:
+            self.metrics.snapshot(
+                f"{job.name}/reduce",
+                counters,
+                backend=backend.name,
+                tasks=len(reduce_results),
+                phase_end=end_time,
+            )
+        if self.tracer is not None:
+            self.tracer.record_span(
+                job.name, "job", start_time, end_time, job=job.name
+            )
+            self.tracer.record_span(
+                "map-phase", "phase", start_time, map_phase_end,
+                job=job.name, tasks=len(map_results),
+            )
+            self.tracer.record_span(
+                "reduce-phase", "phase", map_phase_end, end_time,
+                job=job.name, tasks=len(reduce_results),
+            )
 
         events: List[Event] = []
         for task in map_results + reduce_results:
@@ -211,15 +260,19 @@ class Cluster:
             task_id = payload.task_id
             counters.merge(payload.counters)
             if job.combiner is not None:
-                counters.increment("combine", "input", payload.combine_input)
-                counters.increment("combine", "output", payload.combine_output)
-            counters.increment("map", "records", payload.num_records)
-            counters.increment("map", "emitted", len(payload.emitted))
+                counters.increment("engine", "combine_input", payload.combine_input)
+                counters.increment("engine", "combine_output", payload.combine_output)
+            counters.increment("engine", "map_records", payload.num_records)
+            counters.increment("engine", "map_emitted", len(payload.emitted))
 
-            start, end, attempt_start = self._schedule_attempts(
-                pool, payload.cost, failures.get(task_id, 0)
+            retries = failures.get(task_id, 0)
+            start, end, attempt_start, slot = self._schedule_attempts(
+                pool, payload.cost, retries
             )
-            counters.increment("map", "retries", failures.get(task_id, 0))
+            counters.increment("engine", "map_retries", retries)
+            self._trace_task(
+                job, "map", payload, start, end, attempt_start, slot, retries
+            )
             results.append(
                 TaskResult(
                     task_id=task_id,
@@ -246,12 +299,66 @@ class Cluster:
     @staticmethod
     def _schedule_attempts(
         pool: SlotPool, cost: float, failed_attempts: int
-    ) -> tuple[float, float, float]:
+    ) -> tuple[float, float, float, int]:
         """Place a task with ``failed_attempts`` full-cost failed attempts
-        before the successful one; returns (start, end, successful start)."""
+        before the successful one; returns
+        (start, end, successful start, slot index)."""
         total = cost * (failed_attempts + 1)
-        start, end = pool.schedule(total)
-        return start, end, start + cost * failed_attempts
+        start, end, slot = pool.schedule(total)
+        return start, end, start + cost * failed_attempts, slot
+
+    def _trace_task(
+        self,
+        job: MapReduceJob,
+        phase: str,
+        payload: Any,
+        start: float,
+        end: float,
+        attempt_start: float,
+        slot: int,
+        retries: int,
+    ) -> None:
+        """Record one scheduled task: failed attempts, the successful
+        attempt, and the task-local span fragments rebased to global time."""
+        trace = self.tracer
+        if trace is None:
+            return
+        track = slot + 1  # track 0 belongs to job/phase spans
+        task_id = payload.task_id
+        for attempt in range(retries):
+            trace.record_span(
+                f"{phase}-{task_id}/attempt-{attempt}",
+                "attempt",
+                start + attempt * payload.cost,
+                start + (attempt + 1) * payload.cost,
+                job=job.name,
+                track=track,
+                task=task_id,
+                phase=phase,
+                failed=True,
+            )
+        trace.record_span(
+            f"{phase}-{task_id}",
+            "task",
+            attempt_start,
+            end,
+            job=job.name,
+            track=track,
+            task=task_id,
+            phase=phase,
+            cost=payload.cost,
+            records=payload.num_records,
+        )
+        for fragment in payload.spans:
+            trace.record_span(
+                fragment.name,
+                fragment.category,
+                attempt_start + fragment.start,
+                attempt_start + fragment.end,
+                job=job.name,
+                track=track,
+                **dict(fragment.args),
+            )
 
     def _run_reduce_phase(
         self,
@@ -272,15 +379,29 @@ class Cluster:
         for payload in payloads:
             task_id = payload.task_id
             counters.merge(payload.counters)
-            counters.increment("reduce", "groups", payload.num_groups)
-            counters.increment("reduce", "records", payload.num_records)
+            counters.increment("engine", "reduce_groups", payload.num_groups)
+            counters.increment("engine", "reduce_records", payload.num_records)
 
-            start, end, attempt_start = self._schedule_attempts(
-                pool, payload.cost, failures.get(task_id, 0)
+            retries = failures.get(task_id, 0)
+            start, end, attempt_start, slot = self._schedule_attempts(
+                pool, payload.cost, retries
             )
-            counters.increment("reduce", "retries", failures.get(task_id, 0))
+            counters.increment("engine", "reduce_retries", retries)
+            self._trace_task(
+                job, "reduce", payload, start, end, attempt_start, slot, retries
+            )
             for f in payload.files:
                 f.close_time += attempt_start  # rebase to global time
+                if self.tracer is not None:
+                    self.tracer.record_instant(
+                        f"flush-{task_id}.{f.index}",
+                        "flush",
+                        f.close_time,
+                        job=job.name,
+                        track=slot + 1,
+                        task=task_id,
+                        records=len(f.records),
+                    )
             all_files.extend(payload.files)
             results.append(
                 TaskResult(

@@ -53,7 +53,7 @@ from typing import Any, List, Optional, Sequence
 from .clock import CostModel
 from .counters import Counters
 from .job import MapReduceJob, TaskContext
-from .types import Event, KeyValue, OutputFile
+from .types import Event, KeyValue, OutputFile, SpanFragment
 
 
 @dataclass
@@ -70,6 +70,8 @@ class MapTaskPayload:
         num_records: input records the task consumed.
         combine_input / combine_output: combiner fold sizes (0 when the job
             has no combiner).
+        spans: trace-span fragments recorded by the task (local time, like
+            ``events``); empty unless the running cluster has a tracer.
     """
 
     task_id: int
@@ -80,6 +82,7 @@ class MapTaskPayload:
     num_records: int
     combine_input: int = 0
     combine_output: int = 0
+    spans: List[SpanFragment] = field(default_factory=list)
 
 
 @dataclass
@@ -94,6 +97,7 @@ class ReduceTaskPayload:
     counters: Counters = field(default_factory=Counters)
     num_groups: int = 0
     num_records: int = 0
+    spans: List[SpanFragment] = field(default_factory=list)
 
 
 # ---------------------------------------------------------------------------
@@ -130,6 +134,7 @@ def compute_map_task(
         num_records=len(split),
         combine_input=combine_input,
         combine_output=combine_output,
+        spans=list(context.span_fragments),
     )
 
 
@@ -179,6 +184,7 @@ def compute_reduce_task(
         counters=context.counters,
         num_groups=len(keys),
         num_records=len(items),
+        spans=list(context.span_fragments),
     )
 
 

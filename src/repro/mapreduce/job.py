@@ -13,7 +13,12 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from .clock import CostModel, VirtualClock
 from .counters import Counters
-from .types import Config, Event, KeyValue, OutputFile
+from .types import Config, Event, KeyValue, OutputFile, SpanFragment
+
+#: Job-config key the engine sets when a tracer is attached; task contexts
+#: record span fragments only when it is truthy, so tracing stays zero-cost
+#: when disabled.
+TRACE_CONFIG_KEY = "observability.trace"
 
 
 class TaskContext:
@@ -40,6 +45,8 @@ class TaskContext:
         self.counters = Counters()
         self.emitted: List[KeyValue] = []
         self.written: List[Any] = []
+        self.span_fragments: List[SpanFragment] = []
+        self._trace_enabled = bool(config.get(TRACE_CONFIG_KEY)) if config else False
         self._alpha = alpha
         self._files: List[OutputFile] = []
         self._current_file = OutputFile(task_id=task_id, index=0, close_time=0.0)
@@ -67,6 +74,41 @@ class TaskContext:
         if not hasattr(self, "_events"):
             self._events: List[Event] = []
         return self._events
+
+    # -- tracing -----------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """True when a tracer is attached to the cluster running this task.
+
+        Hot paths should guard manual ``clock.now`` bookkeeping on this
+        flag; :meth:`record_span` itself is already a no-op when disabled.
+        """
+        return self._trace_enabled
+
+    def record_span(
+        self, name: str, category: str, start: float, end: float, **args: Any
+    ) -> None:
+        """Record a trace span over ``[start, end]`` in task-local time.
+
+        Spans are pure observation: they charge no cost and never alter
+        events or counters, so a traced run is bit-identical to an
+        untraced one.  The engine rebases fragments to global time when
+        the task is scheduled.  The task id is attached automatically.
+        """
+        if not self._trace_enabled:
+            return
+        merged = dict(args)
+        merged["task"] = self.task_id
+        self.span_fragments.append(
+            SpanFragment(
+                name=name,
+                category=category,
+                start=start,
+                end=end,
+                args=tuple(sorted(merged.items())),
+            )
+        )
 
     # -- map-side emission ------------------------------------------------
 
@@ -227,6 +269,7 @@ def split_input(records: Sequence[Any], num_splits: int) -> List[List[Any]]:
 
 
 __all__ = [
+    "TRACE_CONFIG_KEY",
     "TaskContext",
     "Mapper",
     "Reducer",

@@ -25,6 +25,31 @@ class Event:
     payload: Any = field(compare=False)
 
 
+@dataclass(frozen=True)
+class SpanFragment:
+    """A task-local trace span recorded inside a task computation.
+
+    Fragments are recorded in *task-local* virtual time (like events) and
+    rebased to global time by the engine once the task is scheduled on a
+    slot.  They ride back to the driver inside the task payload, so serial
+    and process backends produce identical traces.  ``args`` is a sorted
+    tuple of ``(key, value)`` pairs — hashable and picklable by design.
+    """
+
+    name: str
+    category: str
+    start: float
+    end: float
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    def arg(self, key: str, default: Any = None) -> Any:
+        """Value of one annotation key (linear scan; args are tiny)."""
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+
 @dataclass
 class TaskResult:
     """What a single (map or reduce) task produced.
@@ -105,6 +130,7 @@ from .counters import Counters  # noqa: E402  (re-export for type reference)
 
 __all__ = [
     "Event",
+    "SpanFragment",
     "TaskResult",
     "OutputFile",
     "JobResult",

@@ -63,12 +63,13 @@ def _memo_compare(comparator: str, v1: str, v2: str) -> float:
 
 
 def similarity_cache_counters() -> Counters:
-    """Cache-hit statistics as Hadoop-style counters (this process only)."""
+    """Cache-hit statistics as Hadoop-style counters (this process only),
+    under the ``matcher.*`` namespace."""
     info = _memo_compare.cache_info()
     counters = Counters()
-    counters.increment("similarity_cache", "hits", info.hits)
-    counters.increment("similarity_cache", "misses", info.misses)
-    counters.increment("similarity_cache", "entries", info.currsize)
+    counters.increment("matcher", "cache_hits", info.hits)
+    counters.increment("matcher", "cache_misses", info.misses)
+    counters.increment("matcher", "cache_entries", info.currsize)
     return counters
 
 

@@ -5,7 +5,8 @@ import pytest
 from repro.baselines import BasicConfig, BasicER
 from repro.baselines.basic import _is_smallest_common_block
 from repro.blocking import citeseer_scheme
-from repro.evaluation import make_cluster, recall_curve
+from repro.mapreduce import Cluster
+from repro.evaluation import recall_curve
 from repro.mechanisms import SortedNeighborHint
 
 
@@ -49,7 +50,7 @@ def basic_runs(request):
             window=15,
             popcorn_threshold=threshold,
         )
-        runs[threshold] = BasicER(config, make_cluster(3)).run(dataset)
+        runs[threshold] = BasicER(config, Cluster(3)).run(dataset)
     return dataset, runs
 
 
@@ -96,6 +97,6 @@ class TestBasicEndToEnd:
                 mechanism=SortedNeighborHint(),
                 window=window,
             )
-            results[window] = BasicER(config, make_cluster(3)).run(citeseer_small)
+            results[window] = BasicER(config, Cluster(3)).run(citeseer_small)
         assert results[5].total_time < results[15].total_time
         assert len(results[5].found_pairs) <= len(results[15].found_pairs)

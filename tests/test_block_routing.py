@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ProgressiveER, citeseer_config
-from repro.evaluation import make_cluster
+from repro.mapreduce import Cluster
 
 
 @pytest.fixture(scope="module")
@@ -13,7 +13,7 @@ def routing_runs(request):
     runs = {}
     for routing in ("tree", "block"):
         config = citeseer_config(matcher=matcher, routing=routing)
-        runs[routing] = ProgressiveER(config, make_cluster(3)).run(dataset)
+        runs[routing] = ProgressiveER(config, Cluster(3)).run(dataset)
     return dataset, runs
 
 
@@ -26,8 +26,8 @@ class TestRoutingEquivalence:
         """The whole point of footnote 5: per-tree emission cuts shuffle
         volume versus per-block emission."""
         _, runs = routing_runs
-        tree_emitted = runs["tree"].job2.counters.get("map", "emitted")
-        block_emitted = runs["block"].job2.counters.get("map", "emitted")
+        tree_emitted = runs["tree"].job2.counters.get("engine", "map_emitted")
+        block_emitted = runs["block"].job2.counters.get("engine", "map_emitted")
         assert block_emitted > tree_emitted
 
     def test_block_routing_respects_block_schedule_order(self, routing_runs):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cli import main
 from repro.core import ProgressiveER, citeseer_config, make_budget_weighting
-from repro.evaluation import make_cluster
+from repro.mapreduce import Cluster
 
 
 class TestProfileCommand:
@@ -61,7 +61,7 @@ class TestBudgetWeighting:
             matcher=shared_citeseer_matcher,
             weighting=make_budget_weighting(0.4),
         )
-        result = ProgressiveER(config, make_cluster(2)).run(citeseer_small)
+        result = ProgressiveER(config, Cluster(2)).run(citeseer_small)
         assert result.found_pairs
         weights = result.schedule.weights
         assert all(
@@ -84,7 +84,7 @@ class TestBudgetWeighting:
             if weighting is not None:
                 kwargs["weighting"] = weighting
             config = citeseer_config(**kwargs)
-            result = ProgressiveER(config, make_cluster(2)).run(citeseer_small)
+            result = ProgressiveER(config, Cluster(2)).run(citeseer_small)
             runs[name] = recall_curve(
                 result.duplicate_events, citeseer_small, end_time=result.total_time
             )

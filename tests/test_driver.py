@@ -7,7 +7,8 @@ import pytest
 import repro.core.driver as driver_module
 from repro.core import ProgressiveER
 from repro.data import pair_key
-from repro.evaluation import make_cluster, recall_curve
+from repro.mapreduce import Cluster
+from repro.evaluation import recall_curve
 from repro.mapreduce import results_available_at
 from repro.mechanisms import base as mechanisms_base
 
@@ -19,7 +20,7 @@ def progressive_run(request):
     from repro.core import citeseer_config
 
     config = citeseer_config(matcher=matcher)
-    result = ProgressiveER(config, make_cluster(3)).run(dataset)
+    result = ProgressiveER(config, Cluster(3)).run(dataset)
     return dataset, result
 
 
@@ -55,7 +56,7 @@ class TestEndToEnd:
     def test_output_files_flush_incrementally(self, progressive_run):
         _, result = progressive_run
         assert len(result.job2.output_files) > result.job2.counters.get(
-            "reduce", "groups"
+            "engine", "reduce_groups"
         ) * 0 + 1
         half = results_available_at(result.job2, result.total_time / 2)
         full = results_available_at(result.job2, result.total_time)
@@ -88,7 +89,7 @@ class TestRedundancyFreedom:
 
         driver_module.resolve_block = counting
         try:
-            result = ProgressiveER(citeseer_cfg, make_cluster(3)).run(citeseer_small)
+            result = ProgressiveER(citeseer_cfg, Cluster(3)).run(citeseer_small)
         finally:
             driver_module.resolve_block = original
         assert resolved, "expected at least one resolution"
@@ -100,8 +101,8 @@ class TestRedundancyFreedom:
 
 class TestDeterminism:
     def test_same_seed_same_events(self, citeseer_small, citeseer_cfg):
-        r1 = ProgressiveER(citeseer_cfg, make_cluster(2), seed=5).run(citeseer_small)
-        r2 = ProgressiveER(citeseer_cfg, make_cluster(2), seed=5).run(citeseer_small)
+        r1 = ProgressiveER(citeseer_cfg, Cluster(2), seed=5).run(citeseer_small)
+        r2 = ProgressiveER(citeseer_cfg, Cluster(2), seed=5).run(citeseer_small)
         assert [(e.time, e.payload) for e in r1.duplicate_events] == [
             (e.time, e.payload) for e in r2.duplicate_events
         ]
@@ -113,7 +114,7 @@ class TestEstimatorVariants:
         from repro.core import citeseer_config
 
         config = citeseer_config(matcher=shared_citeseer_matcher, estimator=kind)
-        result = ProgressiveER(config, make_cluster(2)).run(citeseer_small)
+        result = ProgressiveER(config, Cluster(2)).run(citeseer_small)
         recall = len(result.found_pairs & citeseer_small.true_pairs)
         assert recall > 0
 
@@ -124,7 +125,7 @@ class TestSchedulerStrategies:
         self, citeseer_small, citeseer_cfg, strategy
     ):
         result = ProgressiveER(
-            citeseer_cfg, make_cluster(3), strategy=strategy
+            citeseer_cfg, Cluster(3), strategy=strategy
         ).run(citeseer_small)
         curve = recall_curve(
             result.duplicate_events, citeseer_small, end_time=result.total_time

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.driver import ProgressiveER, ResolutionMapper, _first_discoveries
 from repro.core import citeseer_config
-from repro.evaluation import make_cluster
+from repro.mapreduce import Cluster
 from repro.mapreduce.types import Event
 
 
@@ -26,13 +26,13 @@ class TestFirstDiscoveries:
 
 class TestCostFactorSampling:
     def test_reasonable_range(self, citeseer_small, citeseer_cfg):
-        er = ProgressiveER(citeseer_cfg, make_cluster(1))
+        er = ProgressiveER(citeseer_cfg, Cluster(1))
         factor = er._average_cost_factor(citeseer_small)
         assert 0.2 <= factor <= 10.0
 
     def test_deterministic_per_seed(self, citeseer_small, citeseer_cfg):
-        a = ProgressiveER(citeseer_cfg, make_cluster(1), seed=3)
-        b = ProgressiveER(citeseer_cfg, make_cluster(1), seed=3)
+        a = ProgressiveER(citeseer_cfg, Cluster(1), seed=3)
+        b = ProgressiveER(citeseer_cfg, Cluster(1), seed=3)
         assert a._average_cost_factor(citeseer_small) == b._average_cost_factor(
             citeseer_small
         )
@@ -40,7 +40,7 @@ class TestCostFactorSampling:
     def test_tiny_dataset_falls_back(self, citeseer_cfg):
         from repro.data import Dataset, Entity
 
-        er = ProgressiveER(citeseer_cfg, make_cluster(1))
+        er = ProgressiveER(citeseer_cfg, Cluster(1))
         ds = Dataset(entities=[Entity(id=0, attrs={})])
         assert er._average_cost_factor(ds) == 1.0
 
@@ -53,7 +53,7 @@ class TestSplitTreeRouting:
         the sub-tree's entities to it (with the (n+1)-st dominance entry
         on the parent-tree emission)."""
         config = citeseer_config(matcher=shared_citeseer_matcher)
-        result = ProgressiveER(config, make_cluster(10)).run(citeseer_medium)
+        result = ProgressiveER(config, Cluster(10)).run(citeseer_medium)
         schedule = result.schedule
         split_trees = [
             uid for family in schedule.split_roots.values() for _, _, uid in family
@@ -79,7 +79,7 @@ class TestSplitTreeRouting:
         self, citeseer_medium, shared_citeseer_matcher
     ):
         config = citeseer_config(matcher=shared_citeseer_matcher)
-        result = ProgressiveER(config, make_cluster(10)).run(citeseer_medium)
+        result = ProgressiveER(config, Cluster(10)).run(citeseer_medium)
         schedule = result.schedule
         doms = set(schedule.dominance.values())
         n = config.scheme.num_families

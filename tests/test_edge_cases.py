@@ -12,7 +12,7 @@ from repro.blocking import (
 )
 from repro.core import ProgressiveER, citeseer_config
 from repro.data import Dataset, Entity, make_citeseer
-from repro.evaluation import make_cluster, recall_curve
+from repro.evaluation import recall_curve
 from repro.mapreduce import Cluster, CostModel, MapReduceJob, Mapper, Reducer
 from repro.mechanisms import PSNM, SortedNeighborHint, resolve_block
 from repro.similarity import citeseer_matcher
@@ -111,7 +111,7 @@ class TestPipelineEdges:
         config = citeseer_config(
             matcher=shared_citeseer_matcher, train_fraction=1.0
         )
-        result = ProgressiveER(config, make_cluster(1)).run(ds)
+        result = ProgressiveER(config, Cluster(1)).run(ds)
         assert result.total_time > 0
 
     def test_dataset_without_duplicates(self, shared_citeseer_matcher):
@@ -119,13 +119,13 @@ class TestPipelineEdges:
         config = citeseer_config(
             matcher=shared_citeseer_matcher, train_fraction=1.0
         )
-        result = ProgressiveER(config, make_cluster(1)).run(ds)
+        result = ProgressiveER(config, Cluster(1)).run(ds)
         # No true pairs: everything reported (if anything) is a false
         # positive; the pipeline must still terminate cleanly.
         assert result.total_time > 0
 
     def test_single_machine(self, citeseer_small, citeseer_cfg):
-        result = ProgressiveER(citeseer_cfg, make_cluster(1)).run(citeseer_small)
+        result = ProgressiveER(citeseer_cfg, Cluster(1)).run(citeseer_small)
         curve = recall_curve(
             result.duplicate_events, citeseer_small, end_time=result.total_time
         )
@@ -137,7 +137,7 @@ class TestPipelineEdges:
             matcher=shared_citeseer_matcher, train_fraction=1.0
         )
         # 10 machines = 20 reduce tasks for a ~handful of trees.
-        result = ProgressiveER(config, make_cluster(10)).run(ds)
+        result = ProgressiveER(config, Cluster(10)).run(ds)
         assert result.total_time > 0
 
 

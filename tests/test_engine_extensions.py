@@ -39,12 +39,12 @@ class TestCombiner:
         lines = ["a a a a a a a a"] * 8
         plain = Cluster(2).run_job(_job(), lines)
         combined = Cluster(2).run_job(_job(_SumCombiner()), lines)
-        assert combined.counters.get("map", "emitted") < plain.counters.get(
-            "map", "emitted"
+        assert combined.counters.get("engine", "map_emitted") < plain.counters.get(
+            "engine", "map_emitted"
         )
-        assert combined.counters.get("combine", "output") < combined.counters.get(
-            "combine", "input"
-        )
+        assert combined.counters.get(
+            "engine", "combine_output"
+        ) < combined.counters.get("engine", "combine_input")
 
     def test_combiner_may_expand_values(self):
         class Splitter(Combiner):
@@ -78,8 +78,8 @@ class TestFailureInjection:
         result = Cluster(1).run_job(
             _job(), ["a b"], map_failures={0: 2}, reduce_failures={0: 1}
         )
-        assert result.counters.get("map", "retries") == 2
-        assert result.counters.get("reduce", "retries") == 1
+        assert result.counters.get("engine", "map_retries") == 2
+        assert result.counters.get("engine", "reduce_retries") == 1
 
     def test_reduce_failure_delays_events_and_files(self):
         class EventReducer(Reducer):
@@ -107,15 +107,15 @@ class TestFailureInjection:
         """The progressive pipeline is failure-oblivious: a re-executed
         reduce task reproduces exactly the same duplicates, later."""
         from repro.core.driver import ProgressiveER
-        from repro.evaluation import make_cluster
+        from repro.mapreduce import Cluster
 
-        clean = ProgressiveER(citeseer_cfg, make_cluster(2)).run(citeseer_small)
-        er = ProgressiveER(citeseer_cfg, make_cluster(2))
+        clean = ProgressiveER(citeseer_cfg, Cluster(2)).run(citeseer_small)
+        er = ProgressiveER(citeseer_cfg, Cluster(2))
         # Run Job 1 + schedule normally, then re-run Job 2 with failures by
         # reaching through the public cluster API.
         assert clean.found_pairs  # sanity
         # Full-pipeline failure runs are covered at the engine level; here
         # we assert determinism of the clean path (prerequisite for the
         # retry model to be sound).
-        again = ProgressiveER(citeseer_cfg, make_cluster(2)).run(citeseer_small)
+        again = ProgressiveER(citeseer_cfg, Cluster(2)).run(citeseer_small)
         assert again.found_pairs == clean.found_pairs

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.evaluation import run_basic, run_progressive, sample_times
+from repro.evaluation import ExperimentRun, RunSpec, sample_times
 from repro.mapreduce import (
     Cluster,
     Combiner,
@@ -65,37 +65,43 @@ def run_fingerprint(run):
 
 class TestPaperWorkloadParity:
     def test_fig8_scale_progressive_parity(self, citeseer_small, citeseer_cfg):
-        serial = run_progressive(
-            citeseer_small, citeseer_cfg, 10, executor=SerialExecutor()
-        )
-        process = run_progressive(
-            citeseer_small, citeseer_cfg, 10, executor=ParallelExecutor(WORKERS)
-        )
+        serial = ExperimentRun(
+            RunSpec(citeseer_small, citeseer_cfg, machines=10, executor=SerialExecutor())
+        ).run()
+        process = ExperimentRun(
+            RunSpec(
+                citeseer_small, citeseer_cfg, machines=10,
+                executor=ParallelExecutor(WORKERS),
+            )
+        ).run()
         assert run_fingerprint(serial) == run_fingerprint(process)
 
     def test_fig8_scale_basic_parity(self, citeseer_small, basic_cfg):
-        serial = run_basic(citeseer_small, basic_cfg, 10, executor=SerialExecutor())
-        process = run_basic(
-            citeseer_small, basic_cfg, 10, executor=ParallelExecutor(WORKERS)
-        )
+        serial = ExperimentRun(
+            RunSpec(citeseer_small, basic_cfg, machines=10, executor=SerialExecutor())
+        ).run()
+        process = ExperimentRun(
+            RunSpec(
+                citeseer_small, basic_cfg, machines=10,
+                executor=ParallelExecutor(WORKERS),
+            )
+        ).run()
         assert run_fingerprint(serial) == run_fingerprint(process)
 
     @pytest.mark.parametrize("strategy", ["nosplit", "lpt"])
     def test_fig9_small_scheduler_parity(self, citeseer_small, citeseer_cfg, strategy):
-        serial = run_progressive(
-            citeseer_small,
-            citeseer_cfg,
-            6,
-            strategy=strategy,
-            executor=SerialExecutor(),
-        )
-        process = run_progressive(
-            citeseer_small,
-            citeseer_cfg,
-            6,
-            strategy=strategy,
-            executor=ParallelExecutor(WORKERS),
-        )
+        serial = ExperimentRun(
+            RunSpec(
+                citeseer_small, citeseer_cfg, machines=6,
+                strategy=strategy, executor=SerialExecutor(),
+            )
+        ).run()
+        process = ExperimentRun(
+            RunSpec(
+                citeseer_small, citeseer_cfg, machines=6,
+                strategy=strategy, executor=ParallelExecutor(WORKERS),
+            )
+        ).run()
         assert run_fingerprint(serial) == run_fingerprint(process)
 
 

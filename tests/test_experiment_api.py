@@ -1,0 +1,133 @@
+"""Tests for the unified run API: RunSpec / ExperimentRun / RunResult,
+plus the deprecated pre-RunSpec wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    ExperimentRun,
+    RunResult,
+    RunSpec,
+    make_cluster,
+    run_basic,
+    run_progressive,
+)
+from repro.evaluation.experiment import PAPER_MAP_SLOTS, PAPER_REDUCE_SLOTS
+from repro.mapreduce import CostModel, SerialExecutor
+
+
+class TestRunSpec:
+    def test_approach_inferred_from_config_type(self, citeseer_cfg, basic_cfg):
+        assert not RunSpec(None, citeseer_cfg).is_basic
+        assert RunSpec(None, basic_cfg).is_basic
+
+    def test_progressive_label_derived_from_strategy(self, citeseer_cfg):
+        assert RunSpec(None, citeseer_cfg).resolved_label() == "ours[ours]"
+        assert RunSpec(None, citeseer_cfg, strategy="lpt").resolved_label() == "ours[lpt]"
+
+    def test_basic_label_encodes_popcorn_threshold(self, basic_cfg):
+        assert RunSpec(None, basic_cfg).resolved_label() == "basic[F]"
+
+    def test_explicit_label_wins(self, citeseer_cfg):
+        spec = RunSpec(None, citeseer_cfg, label="fig8")
+        assert spec.resolved_label() == "fig8"
+
+    def test_with_label_copies(self, citeseer_cfg):
+        spec = RunSpec(None, citeseer_cfg, machines=7)
+        relabeled = spec.with_label("other")
+        assert relabeled.label == "other"
+        assert relabeled.machines == 7
+        assert spec.label is None  # original untouched
+
+
+class TestExperimentRun:
+    def test_cluster_is_paper_shaped(self, citeseer_small, citeseer_cfg):
+        experiment = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=4))
+        cluster = experiment.cluster
+        assert cluster.machines == 4
+        assert cluster.map_slots == PAPER_MAP_SLOTS
+        assert cluster.reduce_slots == PAPER_REDUCE_SLOTS
+
+    def test_backend_name_builds_executor(self, citeseer_small, citeseer_cfg):
+        experiment = ExperimentRun(
+            RunSpec(citeseer_small, citeseer_cfg, backend="process", workers=2)
+        )
+        assert experiment.cluster.executor.name == "process"
+        assert experiment.cluster.executor.workers == 2
+
+    def test_explicit_executor_wins_over_backend(self, citeseer_small, citeseer_cfg):
+        experiment = ExperimentRun(
+            RunSpec(
+                citeseer_small, citeseer_cfg,
+                backend="process", executor=SerialExecutor(),
+            )
+        )
+        assert experiment.cluster.executor.name == "serial"
+
+    def test_progressive_run_result_shape(self, citeseer_small, citeseer_cfg):
+        run = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=3)).run()
+        assert isinstance(run, RunResult)
+        assert run.label == "ours[ours]"
+        assert run.spec.machines == 3
+        assert run.total_time == run.result.total_time
+        assert run.final_recall == run.curve.final_recall
+        assert run.final_recall > 0.8
+        assert run.duplicate_events is run.result.duplicate_events
+
+    def test_basic_run_result_shape(self, citeseer_small, basic_cfg):
+        run = ExperimentRun(RunSpec(citeseer_small, basic_cfg, machines=3)).run()
+        assert run.label == "basic[F]"
+        assert run.total_time == run.result.job.end_time
+        assert run.final_recall > 0.8
+
+    def test_seed_flows_through(self, citeseer_small, citeseer_cfg):
+        a = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=2, seed=5)).run()
+        b = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=2, seed=5)).run()
+        assert [(e.time, e.payload) for e in a.duplicate_events] == [
+            (e.time, e.payload) for e in b.duplicate_events
+        ]
+
+
+class TestFoundPairsCaching:
+    """found_pairs is derived from the event log — compute it once."""
+
+    def test_run_result_caches(self, citeseer_small, citeseer_cfg):
+        run = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=2)).run()
+        assert run.found_pairs is run.found_pairs
+
+    def test_progressive_result_caches(self, citeseer_small, citeseer_cfg):
+        run = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=2)).run()
+        assert run.result.found_pairs is run.result.found_pairs
+
+    def test_basic_result_caches(self, citeseer_small, basic_cfg):
+        run = ExperimentRun(RunSpec(citeseer_small, basic_cfg, machines=2)).run()
+        assert run.result.found_pairs is run.result.found_pairs
+
+
+class TestDeprecatedWrappers:
+    def test_make_cluster_warns_and_matches_new_path(self):
+        with pytest.warns(DeprecationWarning, match="make_cluster"):
+            cluster = make_cluster(5, cost_model=CostModel())
+        assert cluster.machines == 5
+        assert cluster.map_slots == PAPER_MAP_SLOTS
+
+    def test_run_progressive_warns_and_delegates(self, citeseer_small, citeseer_cfg):
+        with pytest.warns(DeprecationWarning, match="run_progressive"):
+            old = run_progressive(citeseer_small, citeseer_cfg, 3, strategy="lpt")
+        new = ExperimentRun(
+            RunSpec(citeseer_small, citeseer_cfg, machines=3, strategy="lpt")
+        ).run()
+        assert old.label == new.label == "ours[lpt]"
+        assert old.found_pairs == new.found_pairs
+        assert old.total_time == new.total_time
+
+    def test_run_basic_warns_and_delegates(self, citeseer_small, basic_cfg):
+        with pytest.warns(DeprecationWarning, match="run_basic"):
+            old = run_basic(citeseer_small, basic_cfg, 3, label="b")
+        new = ExperimentRun(
+            RunSpec(citeseer_small, basic_cfg, machines=3, label="b")
+        ).run()
+        assert old.label == "b"
+        assert old.found_pairs == new.found_pairs
+        assert old.total_time == new.total_time

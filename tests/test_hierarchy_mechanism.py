@@ -79,11 +79,11 @@ class TestHierarchyHint:
 
     def test_usable_as_mechanism_m_end_to_end(self, citeseer_small, shared_citeseer_matcher):
         from repro.core import ProgressiveER, citeseer_config
-        from repro.evaluation import make_cluster
+        from repro.mapreduce import Cluster
 
         config = citeseer_config(
             matcher=shared_citeseer_matcher, mechanism=HierarchyHint()
         )
-        result = ProgressiveER(config, make_cluster(2)).run(citeseer_small)
+        result = ProgressiveER(config, Cluster(2)).run(citeseer_small)
         recall = len(result.found_pairs & citeseer_small.true_pairs)
         assert recall / citeseer_small.num_true_pairs > 0.7

@@ -7,14 +7,14 @@ from repro.baselines import BasicConfig
 from repro.blocking import books_scheme, citeseer_scheme
 from repro.core import ProgressiveER, books_config
 from repro.evaluation import (
-    make_cluster,
+    ExperimentRun,
+    RunSpec,
     quality,
     recall_curve,
-    run_basic,
-    run_progressive,
     transitive_closure,
 )
 from repro.core.config import linear_weights
+from repro.mapreduce import Cluster
 from repro.mechanisms import PSNM, SortedNeighborHint
 
 
@@ -24,20 +24,22 @@ def headline_runs(request):
     matcher = request.getfixturevalue("shared_citeseer_matcher")
     from repro.core import citeseer_config
 
-    ours = run_progressive(
-        dataset, citeseer_config(matcher=matcher), machines=4, label="ours"
-    )
-    basic = run_basic(
-        dataset,
-        BasicConfig(
-            scheme=citeseer_scheme(),
-            matcher=matcher,
-            mechanism=SortedNeighborHint(),
-            window=15,
-        ),
-        machines=4,
-        label="basicF",
-    )
+    ours = ExperimentRun(
+        RunSpec(dataset, citeseer_config(matcher=matcher), machines=4, label="ours")
+    ).run()
+    basic = ExperimentRun(
+        RunSpec(
+            dataset,
+            BasicConfig(
+                scheme=citeseer_scheme(),
+                matcher=matcher,
+                mechanism=SortedNeighborHint(),
+                window=15,
+            ),
+            machines=4,
+            label="basicF",
+        )
+    ).run()
     return dataset, ours, basic
 
 
@@ -69,8 +71,8 @@ class TestHeadlineClaim:
 
 class TestParallelScaling:
     def test_more_machines_not_slower(self, citeseer_small, citeseer_cfg):
-        small = run_progressive(citeseer_small, citeseer_cfg, machines=2)
-        large = run_progressive(citeseer_small, citeseer_cfg, machines=6)
+        small = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=2)).run()
+        large = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=6)).run()
         assert large.total_time <= small.total_time * 1.05
         assert large.final_recall == pytest.approx(small.final_recall, abs=0.02)
 
@@ -78,7 +80,7 @@ class TestParallelScaling:
 class TestBooksPipeline:
     def test_books_psnm_end_to_end(self, books_small, shared_books_matcher):
         config = books_config(matcher=shared_books_matcher)
-        result = ProgressiveER(config, make_cluster(2)).run(books_small)
+        result = ProgressiveER(config, Cluster(2)).run(books_small)
         recall = len(result.found_pairs & books_small.true_pairs)
         assert recall / books_small.num_true_pairs > 0.75
 
@@ -90,7 +92,7 @@ class TestBooksPipeline:
             window=15,
             popcorn_threshold=0.005,
         )
-        run = run_basic(books_small, config, machines=2)
+        run = ExperimentRun(RunSpec(books_small, config, machines=2)).run()
         assert 0.0 < run.final_recall <= 1.0
 
 

@@ -75,6 +75,55 @@ class TestCounters:
         assert len(c) == 1
         assert c.as_dict() == {("g", "n"): 1}
 
+    def test_as_flat_dict_sorted_group_dot_name(self):
+        c = Counters()
+        c.increment("engine", "map_emitted", 3)
+        c.increment("driver", "duplicates", 2)
+        c.increment("engine", "combine_input", 1)
+        assert c.as_flat_dict() == {
+            "driver.duplicates": 2,
+            "engine.combine_input": 1,
+            "engine.map_emitted": 3,
+        }
+        assert list(c.as_flat_dict()) == sorted(c.as_flat_dict())
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["engine", "driver", "matcher"]),
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(-5, 5),
+            ),
+            max_size=12,
+        ),
+        st.integers(0, 11),
+        st.integers(0, 11),
+    )
+    def test_merge_is_associative_and_commutative(self, entries, cut1, cut2):
+        """Task counters can be folded in any grouping/order — the engine
+        relies on this when it aggregates per-task payloads."""
+        lo, hi = sorted((cut1 % (len(entries) + 1), cut2 % (len(entries) + 1)))
+        parts = [entries[:lo], entries[lo:hi], entries[hi:]]
+
+        def counters_from(items):
+            c = Counters()
+            for group, name, amount in items:
+                c.increment(group, name, amount)
+            return c
+
+        a, b, c = (counters_from(p) for p in parts)
+        left = counters_from([])  # (a + b) + c
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+        right = counters_from([])  # a + (b + c)
+        bc = counters_from(parts[1])
+        bc.merge(c)
+        right.merge(bc)
+        right.merge(a)
+        assert left.as_dict() == right.as_dict()
+        assert left.as_dict() == counters_from(entries).as_dict()
+
 
 class TestSplitInput:
     def test_even_split(self):
@@ -114,15 +163,15 @@ class TestStableHash:
 class TestSlotPool:
     def test_waves(self):
         pool = SlotPool(2, ready_time=0.0)
-        assert pool.schedule(10.0) == (0.0, 10.0)
-        assert pool.schedule(5.0) == (0.0, 5.0)
+        assert pool.schedule(10.0) == (0.0, 10.0, 0)
+        assert pool.schedule(5.0) == (0.0, 5.0, 1)
         # Third task waits for the earliest slot (freed at 5.0).
-        assert pool.schedule(2.0) == (5.0, 7.0)
+        assert pool.schedule(2.0) == (5.0, 7.0, 1)
         assert pool.makespan == 10.0
 
     def test_ready_time_offset(self):
         pool = SlotPool(1, ready_time=100.0)
-        assert pool.schedule(1.0) == (100.0, 101.0)
+        assert pool.schedule(1.0) == (100.0, 101.0, 0)
 
     def test_needs_a_slot(self):
         with pytest.raises(ValueError):
@@ -231,8 +280,8 @@ class TestEngine:
     def test_counters_aggregated(self):
         cluster = Cluster(2)
         result = cluster.run_job(_wordcount_job(), ["a b", "c"])
-        assert result.counters.get("map", "records") == 2
-        assert result.counters.get("map", "emitted") == 3
+        assert result.counters.get("engine", "map_records") == 2
+        assert result.counters.get("engine", "map_emitted") == 3
 
     def test_more_machines_never_slower(self):
         lines = [f"word{i % 11} other{i % 5}" for i in range(120)]

@@ -177,14 +177,14 @@ class TestSimilarityMemoCache:
         a, b = self._pairs(1)[0]
         matcher.similarity(a, b)
         before = similarity_cache_counters()
-        assert before.get("similarity_cache", "misses") > 0
+        assert before.get("matcher", "cache_misses") > 0
         matcher.similarity(a, b)
         after = similarity_cache_counters()
-        assert after.get("similarity_cache", "hits") > before.get(
-            "similarity_cache", "hits"
+        assert after.get("matcher", "cache_hits") > before.get(
+            "matcher", "cache_hits"
         )
-        assert after.get("similarity_cache", "misses") == before.get(
-            "similarity_cache", "misses"
+        assert after.get("matcher", "cache_misses") == before.get(
+            "matcher", "cache_misses"
         )
 
     def test_memo_keys_include_comparator(self):

@@ -4,7 +4,8 @@ import pytest
 
 from repro.baselines import MrsnConfig, MultiPassMRSN
 from repro.blocking import citeseer_scheme
-from repro.evaluation import make_cluster, recall_curve
+from repro.mapreduce import Cluster
+from repro.evaluation import recall_curve
 
 
 @pytest.fixture(scope="module")
@@ -13,7 +14,7 @@ def mrsn_runs(request):
     matcher = request.getfixturevalue("shared_citeseer_matcher")
     config = MrsnConfig(scheme=citeseer_scheme(), matcher=matcher, window=15)
     return dataset, {
-        machines: MultiPassMRSN(config, make_cluster(machines)).run(dataset)
+        machines: MultiPassMRSN(config, Cluster(machines)).run(dataset)
         for machines in (1, 3)
     }
 
@@ -56,8 +57,8 @@ class TestScaling:
         config = MrsnConfig(
             scheme=citeseer_scheme(), matcher=shared_citeseer_matcher, window=10
         )
-        slow = MultiPassMRSN(config, make_cluster(1)).run(citeseer_small)
-        fast = MultiPassMRSN(config, make_cluster(6)).run(citeseer_small)
+        slow = MultiPassMRSN(config, Cluster(1)).run(citeseer_small)
+        fast = MultiPassMRSN(config, Cluster(6)).run(citeseer_small)
         assert fast.total_time <= slow.total_time
 
     def test_progressive_approach_beats_mrsn_early(
@@ -71,9 +72,9 @@ class TestScaling:
         config = MrsnConfig(
             scheme=citeseer_scheme(), matcher=shared_citeseer_matcher, window=15
         )
-        mrsn = MultiPassMRSN(config, make_cluster(4)).run(citeseer_medium)
+        mrsn = MultiPassMRSN(config, Cluster(4)).run(citeseer_medium)
         ours = ProgressiveER(
-            citeseer_config(matcher=shared_citeseer_matcher), make_cluster(4)
+            citeseer_config(matcher=shared_citeseer_matcher), Cluster(4)
         ).run(citeseer_medium)
 
         mrsn_curve = recall_curve(

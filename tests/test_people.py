@@ -5,7 +5,7 @@ import pytest
 from repro.blocking import people_scheme
 from repro.core import ProgressiveER, people_config
 from repro.data import make_people
-from repro.evaluation import make_cluster
+from repro.mapreduce import Cluster
 from repro.similarity.matchers import people_matcher
 
 
@@ -69,7 +69,7 @@ class TestPeopleScheme:
 class TestPeoplePipeline:
     def test_end_to_end(self, people_small, people_cached_matcher):
         config = people_config(matcher=people_cached_matcher)
-        result = ProgressiveER(config, make_cluster(2)).run(people_small)
+        result = ProgressiveER(config, Cluster(2)).run(people_small)
         recall = len(result.found_pairs & people_small.true_pairs)
         assert recall / people_small.num_true_pairs > 0.6
         precision = len(result.found_pairs & people_small.true_pairs) / len(

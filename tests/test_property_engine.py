@@ -91,7 +91,7 @@ class _ScanSlotPool:
         start = self._free_at[slot]
         end = start + cost
         self._free_at[slot] = end
-        return start, end
+        return start, end, slot
 
     @property
     def makespan(self):

@@ -5,11 +5,11 @@ import pytest
 from repro.baselines import BasicConfig
 from repro.blocking import citeseer_scheme
 from repro.evaluation import (
+    ExperimentRun,
+    RunSpec,
     format_curves,
     format_final_summary,
     format_table,
-    run_basic,
-    run_progressive,
     sample_times,
 )
 from repro.mechanisms import SortedNeighborHint
@@ -43,15 +43,15 @@ class TestSampleTimes:
 
 
 class TestHarness:
-    def test_run_progressive_produces_labeled_curve(
+    def test_progressive_run_produces_labeled_curve(
         self, citeseer_small, citeseer_cfg
     ):
-        run = run_progressive(citeseer_small, citeseer_cfg, machines=2)
+        run = ExperimentRun(RunSpec(citeseer_small, citeseer_cfg, machines=2)).run()
         assert run.label == "ours[ours]"
         assert run.final_recall > 0.5
         assert run.total_time > 0
 
-    def test_run_basic_label_includes_threshold(
+    def test_basic_run_label_includes_threshold(
         self, citeseer_small, shared_citeseer_matcher
     ):
         config = BasicConfig(
@@ -61,13 +61,13 @@ class TestHarness:
             window=15,
             popcorn_threshold=0.1,
         )
-        run = run_basic(citeseer_small, config, machines=2)
+        run = ExperimentRun(RunSpec(citeseer_small, config, machines=2)).run()
         assert run.label == "basic[0.1]"
 
     def test_format_curves_and_summary(self, citeseer_small, citeseer_cfg):
-        run = run_progressive(
-            citeseer_small, citeseer_cfg, machines=2, label="ours"
-        )
+        run = ExperimentRun(
+            RunSpec(citeseer_small, citeseer_cfg, machines=2, label="ours")
+        ).run()
         times = sample_times(run.total_time, points=3)
         curves_text = format_curves([run], times, title="Fig")
         assert "ours" in curves_text

@@ -13,7 +13,8 @@ from repro.core.serialize import (
     schedule_from_dict,
     schedule_to_dict,
 )
-from repro.evaluation import make_cluster, recall_curve
+from repro.mapreduce import Cluster
+from repro.evaluation import recall_curve
 
 
 @pytest.fixture(scope="module")
@@ -21,7 +22,7 @@ def run_result(request):
     dataset = request.getfixturevalue("citeseer_small")
     matcher = request.getfixturevalue("shared_citeseer_matcher")
     config = citeseer_config(matcher=matcher)
-    return dataset, ProgressiveER(config, make_cluster(2)).run(dataset)
+    return dataset, ProgressiveER(config, Cluster(2)).run(dataset)
 
 
 class TestScheduleRoundTrip:
@@ -86,7 +87,7 @@ class TestScheduleRoundTrip:
         dataset, result = run_result
         restored = schedule_from_dict(schedule_to_dict(result.schedule))
         config = citeseer_config(matcher=shared_citeseer_matcher)
-        er = ProgressiveER(config, make_cluster(2))
+        er = ProgressiveER(config, Cluster(2))
         annotated, _, job1 = run_statistics_job(
             er.cluster, dataset, config.scheme
         )

@@ -1,0 +1,178 @@
+"""Tracing is a pure observer: attaching a Tracer/MetricsRegistry must not
+perturb virtual time.
+
+The contract (see ``repro.observability.tracing``): events, counters,
+output files and recall curves are bit-for-bit identical with and without
+observability attached, on every execution backend — and the serial and
+process backends emit the *same set* of spans, because in-task span
+fragments travel inside the task payloads and are rebased by the engine.
+
+Workloads mirror ``tests/test_executor_parity.py``: a FIG8-scale
+progressive run and the Basic baseline on citeseer data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import ExperimentRun, RunSpec
+from repro.mapreduce import ParallelExecutor, SerialExecutor
+from repro.observability import MetricsRegistry, Tracer
+
+from test_executor_parity import WORKERS, run_fingerprint
+
+
+def _run(dataset, config, *, executor, tracer=None, metrics=None, machines=10):
+    spec = RunSpec(
+        dataset,
+        config,
+        machines=machines,
+        executor=executor,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return ExperimentRun(spec).run()
+
+
+class TestTracingDoesNotPerturbVirtualTime:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_progressive_traced_equals_untraced(
+        self, citeseer_small, citeseer_cfg, backend
+    ):
+        def executor():
+            return (
+                SerialExecutor() if backend == "serial" else ParallelExecutor(WORKERS)
+            )
+
+        plain = _run(citeseer_small, citeseer_cfg, executor=executor())
+        traced = _run(
+            citeseer_small,
+            citeseer_cfg,
+            executor=executor(),
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+        )
+        assert run_fingerprint(plain) == run_fingerprint(traced)
+        assert len(traced.tracer.spans) > 0
+        assert len(traced.metrics) > 0
+
+    def test_basic_traced_equals_untraced(self, citeseer_small, basic_cfg):
+        plain = _run(citeseer_small, basic_cfg, executor=SerialExecutor())
+        traced = _run(
+            citeseer_small,
+            basic_cfg,
+            executor=SerialExecutor(),
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+        )
+        assert run_fingerprint(plain) == run_fingerprint(traced)
+        assert len(traced.tracer.spans) > 0
+
+
+class TestCrossBackendTraceParity:
+    def test_progressive_span_sets_identical(self, citeseer_small, citeseer_cfg):
+        serial = _run(
+            citeseer_small, citeseer_cfg, executor=SerialExecutor(), tracer=Tracer()
+        )
+        process = _run(
+            citeseer_small,
+            citeseer_cfg,
+            executor=ParallelExecutor(WORKERS),
+            tracer=Tracer(),
+        )
+        assert serial.tracer.span_set() == process.tracer.span_set()
+        assert len(serial.tracer.spans) == len(process.tracer.spans)
+        assert set(serial.tracer.instants) == set(process.tracer.instants)
+
+    def test_basic_span_sets_identical(self, citeseer_small, basic_cfg):
+        serial = _run(
+            citeseer_small, basic_cfg, executor=SerialExecutor(), tracer=Tracer()
+        )
+        process = _run(
+            citeseer_small,
+            basic_cfg,
+            executor=ParallelExecutor(WORKERS),
+            tracer=Tracer(),
+        )
+        assert serial.tracer.span_set() == process.tracer.span_set()
+
+
+class TestSpanCoverage:
+    """The recorded hierarchy covers both jobs of the progressive pipeline."""
+
+    @pytest.fixture(scope="class")
+    def traced(self, citeseer_small, shared_citeseer_matcher):
+        from repro.core import citeseer_config
+
+        tracer = Tracer()
+        run = _run(
+            citeseer_small,
+            citeseer_config(matcher=shared_citeseer_matcher),
+            executor=SerialExecutor(),
+            tracer=tracer,
+            machines=3,
+        )
+        return run, tracer
+
+    def test_both_jobs_present(self, traced):
+        _, tracer = traced
+        jobs = {job for _, job in tracer.jobs()}
+        assert jobs == {"progressive-blocking-statistics", "progressive-resolution"}
+
+    def test_every_clean_run_category_recorded(self, traced):
+        _, tracer = traced
+        categories = {s.category for s in tracer.spans}
+        assert {"job", "phase", "task", "block", "setup"} <= categories
+
+    def test_failed_attempts_get_attempt_spans(self):
+        from repro.mapreduce import Cluster, MapReduceJob, Mapper, Reducer
+
+        class Identity(Mapper):
+            def map(self, record, context):
+                context.emit(record, 1)
+
+        class Count(Reducer):
+            def reduce(self, key, values, context):
+                context.charge(1.0)
+                context.write((key, len(values)))
+
+        tracer = Tracer()
+        Cluster(1, tracer=tracer).run_job(
+            MapReduceJob(Identity, Count, name="retry-job"),
+            ["a", "b"],
+            map_failures={0: 2},
+        )
+        attempts = [s for s in tracer.spans if s.category == "attempt"]
+        assert len(attempts) == 2
+        assert all(s.arg("failed") for s in attempts)
+        # Failed attempts precede the successful task span on the same slot.
+        task = next(
+            s for s in tracer.spans if s.category == "task" and s.arg("task") == 0
+            and s.arg("phase") == "map"
+        )
+        assert all(a.end <= task.start + 1e-9 for a in attempts)
+
+    def test_schedule_generation_charged_in_map_setup(self, traced):
+        run, tracer = traced
+        label = run.label
+        setups = tracer.spans_of(label, "progressive-resolution", category="setup")
+        assert setups, "expected schedule-generation setup spans"
+        generation = run.result.schedule.generation_cost
+        for span in setups:
+            assert span.name == "schedule-generation"
+            assert span.duration == pytest.approx(generation)
+
+    def test_block_spans_report_duplicates(self, traced):
+        run, tracer = traced
+        blocks = tracer.spans_of(run.label, "progressive-resolution", category="block")
+        assert blocks
+        assert sum(s.arg("duplicates", 0) for s in blocks) == len(run.found_pairs)
+
+    def test_spans_lie_inside_their_job(self, traced):
+        run, tracer = traced
+        for run_label, job in tracer.jobs():
+            spans = tracer.spans_of(run_label, job)
+            job_span = next(s for s in spans if s.category == "job")
+            for span in spans:
+                assert span.start >= job_span.start - 1e-9
+                assert span.end <= job_span.end + 1e-9
