@@ -14,6 +14,7 @@ Examples::
     python -m repro compare --family citeseer --size 1500 --threshold 0.01
     python -m repro run --family citeseer --size 1000 --trace trace.json --skew
     python -m repro compare --family books --size 800 --metrics metrics.json
+    python -m repro run --family citeseer --size 1000 --fault-rate 0.1 --speculative
 """
 
 from __future__ import annotations
@@ -31,11 +32,12 @@ from .evaluation import (
     ExperimentRun,
     RunSpec,
     format_curves,
+    format_fault_summary,
     format_final_summary,
     sample_times,
 )
 from .evaluation.charts import ascii_chart
-from .mapreduce import BACKENDS
+from .mapreduce import BACKENDS, FaultPlan, RetryPolicy, SpeculationConfig
 from .mechanisms import PSNM, SortedNeighborHint
 from .observability import (
     MetricsRegistry,
@@ -75,6 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--points", type=int, default=10, help="curve sample points")
     _add_backend_options(run)
+    _add_fault_options(run)
     _add_observability_options(run)
 
     compare = sub.add_parser("compare", help="ours vs the Basic baseline")
@@ -91,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--points", type=int, default=10)
     compare.add_argument("--chart", action="store_true", help="ASCII chart output")
     _add_backend_options(compare)
+    _add_fault_options(compare)
     _add_observability_options(compare)
 
     profile = sub.add_parser(
@@ -121,6 +125,60 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker processes for --backend process (default: CPU count)",
+    )
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault plan (default: 0)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="probability that any task attempt crashes partway and is "
+        "retried (0 disables fault injection)",
+    )
+    parser.add_argument(
+        "--straggler-rate",
+        type=float,
+        default=0.0,
+        help="probability that a slot is a straggler",
+    )
+    parser.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=3.0,
+        help="cost multiplier of a straggler slot (default: 3)",
+    )
+    parser.add_argument(
+        "--speculative",
+        action="store_true",
+        help="enable Hadoop-style speculative execution (backup attempts "
+        "for straggling tasks; first finisher wins)",
+    )
+
+
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """A FaultPlan from the CLI flags, or None when nothing was requested.
+
+    ``--fault-rate 0`` with no other fault flag must reproduce today's
+    timelines exactly, so the default returns ``None`` (no fault machinery
+    attached at all); any active flag builds a seeded plan.
+    """
+    active = args.fault_rate > 0 or args.straggler_rate > 0 or args.speculative
+    if not active:
+        return None
+    return FaultPlan(
+        seed=args.fault_seed,
+        fault_rate=args.fault_rate,
+        straggler_rate=args.straggler_rate,
+        straggler_factor=args.straggler_factor,
+        retry=RetryPolicy(),
+        speculation=SpeculationConfig(enabled=args.speculative),
     )
 
 
@@ -216,6 +274,7 @@ def _run_spec(args: argparse.Namespace, config, **overrides) -> RunSpec:
         machines=args.machines,
         backend=getattr(args, "backend", None),
         workers=getattr(args, "workers", None),
+        faults=_fault_plan(args) if hasattr(args, "fault_rate") else None,
         **overrides,
     )
 
@@ -240,6 +299,10 @@ def _command_run(args: argparse.Namespace) -> int:
     print(format_curves([run], times, title=f"{run.label} on {dataset.name}"))
     print()
     print(format_final_summary([run]))
+    faults = format_fault_summary([run])
+    if faults:
+        print()
+        print(faults)
     _write_observations(args, tracer, metrics)
     return 0
 
@@ -276,6 +339,10 @@ def _command_compare(args: argparse.Namespace) -> int:
         )
     print()
     print(format_final_summary(runs))
+    faults = format_fault_summary(runs)
+    if faults:
+        print()
+        print(faults)
     _write_observations(args, tracer, metrics)
     return 0
 

@@ -20,7 +20,12 @@ from .metrics import (
     recall_curve,
     recall_speedup,
 )
-from .reporting import format_curves, format_final_summary, format_table
+from .reporting import (
+    format_curves,
+    format_fault_summary,
+    format_final_summary,
+    format_table,
+)
 from .timeline import (
     TaskSpan,
     ascii_gantt,
@@ -48,6 +53,7 @@ __all__ = [
     "format_table",
     "format_curves",
     "format_final_summary",
+    "format_fault_summary",
     "ascii_chart",
     "TaskSpan",
     "job_spans",

@@ -33,6 +33,7 @@ from ..data.entity import Pair
 from ..mapreduce.clock import CostModel
 from ..mapreduce.engine import Cluster
 from ..mapreduce.executors import Executor, make_executor
+from ..mapreduce.faults import FaultPlan
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracing import Tracer
 from ..similarity.matchers import similarity_cache_counters
@@ -67,6 +68,10 @@ class RunSpec:
         executor: explicit executor instance (overrides ``backend``).
         tracer: record spans of this run (shared tracers accumulate).
         metrics: snapshot counters per phase (shared registries accumulate).
+        faults: optional :class:`~repro.mapreduce.faults.FaultPlan`
+            injecting seeded crashes, stragglers and speculative execution
+            into every job of the run.  Deterministic and
+            backend-independent; ``None`` (the default) runs fault-free.
     """
 
     dataset: Dataset
@@ -81,6 +86,7 @@ class RunSpec:
     executor: Optional[Executor] = None
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
+    faults: Optional[FaultPlan] = None
 
     @property
     def is_basic(self) -> bool:
@@ -199,6 +205,7 @@ def _build_cluster(spec: RunSpec) -> Cluster:
         executor=executor,
         tracer=spec.tracer,
         metrics=spec.metrics,
+        faults=spec.faults,
     )
 
 

@@ -53,4 +53,52 @@ def format_final_summary(runs: Sequence[CurveRun], *, title: str = "") -> str:
     return format_table(headers, rows, title=title)
 
 
-__all__ = ["format_table", "format_curves", "format_final_summary"]
+def _run_jobs(run: CurveRun):
+    """The MapReduce jobs behind a run, whichever approach produced it."""
+    result = run.result
+    if hasattr(result, "job2"):
+        return [result.job1, result.job2]
+    return [result.job]
+
+
+def format_fault_summary(runs: Sequence[CurveRun], *, title: str = "") -> str:
+    """Aggregate ``fault.*`` counters per run as an ASCII table.
+
+    Returns an empty string when no run recorded any fault activity (the
+    engine only writes ``fault.*`` counters for non-zero values), so
+    callers can print the summary unconditionally without polluting
+    fault-free output.
+    """
+    names: List[str] = []
+    totals: List[dict] = []
+    for run in runs:
+        merged: dict = {}
+        for job in _run_jobs(run):
+            for (group, name), value in job.counters.items():
+                if group != "fault":
+                    continue
+                # Collapse the per-phase split: "map_retries" and
+                # "reduce_retries" roll up into one "retries" column.
+                metric = name.split("_", 1)[1]
+                merged[metric] = merged.get(metric, 0) + value
+        totals.append(merged)
+        for metric in merged:
+            if metric not in names:
+                names.append(metric)
+    if not any(totals):
+        return ""
+    names.sort()
+    headers = ["approach"] + names
+    rows = [
+        [run.label] + [str(merged.get(metric, 0)) for metric in names]
+        for run, merged in zip(runs, totals)
+    ]
+    return format_table(headers, rows, title=title or "fault injection")
+
+
+__all__ = [
+    "format_table",
+    "format_curves",
+    "format_final_summary",
+    "format_fault_summary",
+]

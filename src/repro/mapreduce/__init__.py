@@ -17,6 +17,14 @@ from .executors import (
     SerialExecutor,
     make_executor,
 )
+from .faults import (
+    FaultPlan,
+    FaultScheduler,
+    JobAbortedError,
+    RetryPolicy,
+    SpeculationConfig,
+    TaskSchedule,
+)
 from .io import file_timeline, results_available_at
 from .job import (
     Combiner,
@@ -41,6 +49,12 @@ __all__ = [
     "ParallelExecutor",
     "make_executor",
     "BACKENDS",
+    "FaultPlan",
+    "FaultScheduler",
+    "JobAbortedError",
+    "RetryPolicy",
+    "SpeculationConfig",
+    "TaskSchedule",
     "MapReduceJob",
     "Combiner",
     "Mapper",

@@ -24,7 +24,14 @@ class Counters:
       ``cache_misses``, ``cache_entries``); process-wide, surfaced via
       :func:`repro.similarity.matchers.similarity_cache_counters` and
       snapshotted by the metrics registry, never merged into job counters
-      (per-worker caches diverge across execution backends).
+      (per-worker caches diverge across execution backends);
+    * ``fault.*`` — fault-injection statistics per phase, incremented by
+      the engine when a :class:`~repro.mapreduce.faults.FaultPlan` is
+      attached (``{map,reduce}_failed_attempts``, ``_retries``,
+      ``_speculative_launched``, ``_speculative_wins``,
+      ``_speculative_failed``, ``_killed_attempts``,
+      ``_blacklisted_slots``).  Only non-zero values are ever recorded,
+      so a fault-free run carries no ``fault.*`` keys at all.
 
     Jobs may add their own groups freely; the namespaces above are
     reserved for the framework.

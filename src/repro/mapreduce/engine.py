@@ -23,10 +23,12 @@ serially or on a pool of worker processes.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 from .clock import CostModel
 from .counters import Counters
+from .faults import FaultPlan, FaultScheduler, TaskSchedule
 from .executors import (
     Executor,
     MapTaskPayload,
@@ -68,7 +70,14 @@ class SlotPool:
         time.  The slot index is what the tracer uses as the span's track,
         so a trace viewer lays tasks out exactly as the simulated slots
         executed them.
+
+        ``cost`` must be finite and non-negative.  Zero is legitimate — an
+        empty input split produces a zero-cost map task, exactly like
+        Hadoop running an empty split — and yields a zero-length attempt
+        that still occupies a slot placement.
         """
+        if not math.isfinite(cost) or cost < 0:
+            raise ValueError(f"task cost must be finite and >= 0, got {cost}")
         start, slot = heapq.heappop(self._heap)
         end = start + cost
         heapq.heappush(self._heap, (end, slot))
@@ -100,6 +109,11 @@ class Cluster:
         metrics: optional
             :class:`~repro.observability.metrics.MetricsRegistry` receiving
             cumulative counter snapshots at the end of each phase.
+        faults: optional :class:`~repro.mapreduce.faults.FaultPlan`
+            injecting seeded crashes, stragglers and (optionally)
+            speculative execution into every job run on this cluster.
+            Fault decisions replay from the seeded plan in the driver, so
+            they are identical on every execution backend.
     """
 
     def __init__(
@@ -112,6 +126,7 @@ class Cluster:
         executor: Optional[Executor] = None,
         tracer: "Optional[Tracer]" = None,
         metrics: "Optional[MetricsRegistry]" = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if machines <= 0:
             raise ValueError(f"machines must be positive, got {machines}")
@@ -122,6 +137,7 @@ class Cluster:
         self.executor = executor if executor is not None else SerialExecutor()
         self.tracer = tracer
         self.metrics = metrics
+        self.faults = faults
 
     @property
     def num_map_tasks(self) -> int:
@@ -146,6 +162,7 @@ class Cluster:
         map_failures: Optional[dict] = None,
         reduce_failures: Optional[dict] = None,
         executor: Optional[Executor] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> JobResult:
         """Execute one MapReduce job and return its :class:`JobResult`.
 
@@ -154,12 +171,25 @@ class Cluster:
         starts when Job 1 ends).  ``executor`` overrides the cluster's
         backend for this job only.
 
-        ``map_failures`` / ``reduce_failures`` inject Hadoop-style task
-        failures: ``{task_id: attempts_that_fail}``.  A failed attempt
+        ``map_failures`` / ``reduce_failures`` inject legacy Hadoop-style
+        task failures: ``{task_id: attempts_that_fail}``.  A failed attempt
         occupies its slot for the task's full cost, then the framework
         re-executes the task from scratch — results are identical, only
         the timeline stretches (Hadoop's deterministic-retry fault model).
+
+        ``faults`` overrides the cluster's :class:`FaultPlan` for this job
+        only: seeded partial-cost crashes, straggler slowdowns, retry
+        backoff and speculative execution (see
+        :mod:`repro.mapreduce.faults`).  The two fault models are mutually
+        exclusive — a seeded plan cannot be combined with the explicit
+        failure dicts.
         """
+        plan = faults if faults is not None else self.faults
+        if plan is not None and (map_failures or reduce_failures):
+            raise ValueError(
+                "a FaultPlan cannot be combined with the legacy "
+                "map_failures/reduce_failures dicts; pick one fault model"
+            )
         n_map = num_map_tasks if num_map_tasks is not None else self.num_map_tasks
         n_red = num_reduce_tasks if num_reduce_tasks is not None else self.num_reduce_tasks
         job.config.setdefault("num_reduce_tasks", n_red)
@@ -172,7 +202,7 @@ class Cluster:
         counters = Counters()
         map_results, partitions = self._run_map_phase(
             job, records, n_map, n_red, start_time, counters,
-            map_failures or {}, backend,
+            map_failures or {}, backend, plan,
         )
         map_phase_end = max((t.end_time for t in map_results), default=start_time)
         if self.metrics is not None:
@@ -186,7 +216,7 @@ class Cluster:
 
         reduce_results, files = self._run_reduce_phase(
             job, partitions, n_red, map_phase_end, counters,
-            reduce_failures or {}, backend,
+            reduce_failures or {}, backend, plan,
         )
         end_time = max((t.end_time for t in reduce_results), default=map_phase_end)
         if self.metrics is not None:
@@ -243,6 +273,7 @@ class Cluster:
         counters: Counters,
         failures: dict,
         backend: Executor,
+        faults: Optional[FaultPlan],
     ) -> tuple[List[TaskResult], List[List[KeyValue]]]:
         """Run all map tasks; return task results and per-reducer partitions.
 
@@ -253,6 +284,10 @@ class Cluster:
         splits = split_input(records, n_map)
         payloads = backend.run_map_phase(job, splits, self.cost_model)
         pool = SlotPool(self.machines * self.map_slots, start_time)
+        schedules = self._fault_schedules(
+            faults, job, "map", self.machines * self.map_slots, start_time,
+            payloads, counters,
+        )
         partitions: List[List[KeyValue]] = [[] for _ in range(n_red)]
         results: List[TaskResult] = []
 
@@ -265,14 +300,32 @@ class Cluster:
             counters.increment("engine", "map_records", payload.num_records)
             counters.increment("engine", "map_emitted", len(payload.emitted))
 
-            retries = failures.get(task_id, 0)
-            start, end, attempt_start, slot = self._schedule_attempts(
-                pool, payload.cost, retries
-            )
-            counters.increment("engine", "map_retries", retries)
-            self._trace_task(
-                job, "map", payload, start, end, attempt_start, slot, retries
-            )
+            if schedules is None:
+                retries = failures.get(task_id, 0)
+                start, end, attempt_start, slot = self._schedule_attempts(
+                    pool, payload.cost, retries
+                )
+                counters.increment("engine", "map_retries", retries)
+                self._trace_task(
+                    job, "map", payload, start, end, attempt_start, slot, retries
+                )
+                stretch = 1.0
+                failed_attempts = retries
+                speculative = False
+            else:
+                sched = schedules[task_id]
+                win = sched.winning
+                start, end, attempt_start = sched.attempts[0].start, win.end, win.start
+                stretch = faults.slot_slowdown(win.slot)
+                retries = sum(
+                    1
+                    for a in sched.attempts
+                    if a.outcome == "failed" and not a.speculative
+                )
+                counters.increment("engine", "map_retries", retries)
+                self._trace_task_faulty(job, "map", payload, sched, stretch)
+                failed_attempts = sched.num_failed
+                speculative = win.speculative
             results.append(
                 TaskResult(
                     task_id=task_id,
@@ -280,10 +333,16 @@ class Cluster:
                     start_time=start,
                     end_time=end,
                     events=[
-                        Event(time=attempt_start + e.time, kind=e.kind, payload=e.payload)
+                        Event(
+                            time=attempt_start + e.time * stretch,
+                            kind=e.kind,
+                            payload=e.payload,
+                        )
                         for e in payload.events
                     ],
                     output=payload.emitted,
+                    num_failed_attempts=failed_attempts,
+                    speculative=speculative,
                 )
             )
             for key, value in payload.emitted:
@@ -295,6 +354,43 @@ class Cluster:
                     )
                 partitions[idx].append((key, value))
         return results, partitions
+
+    def _fault_schedules(
+        self,
+        faults: Optional[FaultPlan],
+        job: MapReduceJob,
+        phase: str,
+        num_slots: int,
+        phase_start: float,
+        payloads: Sequence[Any],
+        counters: Counters,
+    ) -> Optional[List[TaskSchedule]]:
+        """Simulate the phase under a fault plan; ``None`` without one.
+
+        Runs entirely in the driver on the payloads' virtual costs, so the
+        resulting timeline is identical on every execution backend.  Fault
+        statistics land in the ``fault.*`` counter namespace (only non-zero
+        values are recorded, so an inert plan leaves counters untouched).
+        """
+        if faults is None:
+            return None
+        scheduler = FaultScheduler(
+            faults, num_slots, phase_start, job=job.name, phase=phase
+        )
+        schedules = scheduler.run([p.cost for p in payloads])
+        stats = scheduler.stats
+        for name, value in (
+            ("failed_attempts", stats.failed_attempts),
+            ("retries", stats.retries),
+            ("speculative_launched", stats.speculative_launched),
+            ("speculative_wins", stats.speculative_wins),
+            ("speculative_failed", stats.speculative_failed),
+            ("killed_attempts", stats.killed_attempts),
+            ("blacklisted_slots", stats.blacklisted_slots),
+        ):
+            if value:
+                counters.increment("fault", f"{phase}_{name}", value)
+        return schedules
 
     @staticmethod
     def _schedule_attempts(
@@ -360,6 +456,71 @@ class Cluster:
                 **dict(fragment.args),
             )
 
+    def _trace_task_faulty(
+        self,
+        job: MapReduceJob,
+        phase: str,
+        payload: Any,
+        sched: TaskSchedule,
+        stretch: float,
+    ) -> None:
+        """Record a fault-scheduled task: every failed/killed attempt, the
+        winning attempt as the task span, and the task-local span fragments
+        rebased — and stretched by the winning slot's slowdown — to global
+        time.  Retry/speculation markers are added only when present, so an
+        attempt-0 non-speculative win emits spans byte-identical to
+        :meth:`_trace_task` with zero retries."""
+        trace = self.tracer
+        if trace is None:
+            return
+        task_id = payload.task_id
+        win = sched.winning
+        for att in sched.attempts:
+            if att.outcome == "success":
+                continue
+            extra: dict = {att.outcome: True}
+            if att.speculative:
+                extra["speculative"] = True
+            trace.record_span(
+                f"{phase}-{task_id}/attempt-{att.attempt}",
+                "attempt",
+                att.start,
+                att.end,
+                job=job.name,
+                track=att.slot + 1,
+                task=task_id,
+                phase=phase,
+                **extra,
+            )
+        extra = {}
+        if win.attempt > 0:
+            extra["attempt"] = win.attempt
+        if win.speculative:
+            extra["speculative"] = True
+        trace.record_span(
+            f"{phase}-{task_id}",
+            "task",
+            win.start,
+            win.end,
+            job=job.name,
+            track=win.slot + 1,
+            task=task_id,
+            phase=phase,
+            cost=payload.cost,
+            records=payload.num_records,
+            **extra,
+        )
+        for fragment in payload.spans:
+            trace.record_span(
+                fragment.name,
+                fragment.category,
+                win.start + fragment.start * stretch,
+                win.start + fragment.end * stretch,
+                job=job.name,
+                track=win.slot + 1,
+                **dict(fragment.args),
+            )
+
     def _run_reduce_phase(
         self,
         job: MapReduceJob,
@@ -369,10 +530,15 @@ class Cluster:
         counters: Counters,
         failures: dict,
         backend: Executor,
+        faults: Optional[FaultPlan],
     ) -> tuple[List[TaskResult], List[OutputFile]]:
         """Run all reduce tasks; return task results and output files."""
         payloads = backend.run_reduce_phase(job, partitions, self.cost_model)
         pool = SlotPool(self.machines * self.reduce_slots, phase_start)
+        schedules = self._fault_schedules(
+            faults, job, "reduce", self.machines * self.reduce_slots,
+            phase_start, payloads, counters,
+        )
         results: List[TaskResult] = []
         all_files: List[OutputFile] = []
 
@@ -382,16 +548,40 @@ class Cluster:
             counters.increment("engine", "reduce_groups", payload.num_groups)
             counters.increment("engine", "reduce_records", payload.num_records)
 
-            retries = failures.get(task_id, 0)
-            start, end, attempt_start, slot = self._schedule_attempts(
-                pool, payload.cost, retries
-            )
-            counters.increment("engine", "reduce_retries", retries)
-            self._trace_task(
-                job, "reduce", payload, start, end, attempt_start, slot, retries
-            )
+            if schedules is None:
+                retries = failures.get(task_id, 0)
+                start, end, attempt_start, slot = self._schedule_attempts(
+                    pool, payload.cost, retries
+                )
+                counters.increment("engine", "reduce_retries", retries)
+                self._trace_task(
+                    job, "reduce", payload, start, end, attempt_start, slot, retries
+                )
+                stretch = 1.0
+                failed_attempts = retries
+                speculative = False
+            else:
+                sched = schedules[task_id]
+                win = sched.winning
+                start, end, attempt_start, slot = (
+                    sched.attempts[0].start, win.end, win.start, win.slot
+                )
+                stretch = faults.slot_slowdown(win.slot)
+                retries = sum(
+                    1
+                    for a in sched.attempts
+                    if a.outcome == "failed" and not a.speculative
+                )
+                counters.increment("engine", "reduce_retries", retries)
+                self._trace_task_faulty(job, "reduce", payload, sched, stretch)
+                failed_attempts = sched.num_failed
+                speculative = win.speculative
             for f in payload.files:
-                f.close_time += attempt_start  # rebase to global time
+                # Rebase the task-local close time to global time, scaled
+                # by the winning attempt's slowdown (stretch is exactly 1.0
+                # on a healthy slot, so this is bit-identical to the plain
+                # ``close_time += attempt_start`` rebase).
+                f.close_time = attempt_start + f.close_time * stretch
                 if self.tracer is not None:
                     self.tracer.record_instant(
                         f"flush-{task_id}.{f.index}",
@@ -410,10 +600,16 @@ class Cluster:
                     start_time=start,
                     end_time=end,
                     events=[
-                        Event(time=attempt_start + e.time, kind=e.kind, payload=e.payload)
+                        Event(
+                            time=attempt_start + e.time * stretch,
+                            kind=e.kind,
+                            payload=e.payload,
+                        )
                         for e in payload.events
                     ],
                     output=payload.written,
+                    num_failed_attempts=failed_attempts,
+                    speculative=speculative,
                 )
             )
         return results, all_files

@@ -30,6 +30,13 @@ costs are computed by the same pure Python code in either process, and the
 driver consumes payloads in task-id order regardless of the order workers
 finish in.  Wall-clock time is the only observable difference.
 
+Fault injection keeps the contract for free: every fault decision (seeded
+crashes, straggler slowdowns, speculation — see
+:mod:`repro.mapreduce.faults`) is made *in the driver* from the plan's seed
+and the payloads' virtual costs, never inside a worker and never from
+wall-clock time, so a faulty run is just as backend-independent as a clean
+one.
+
 Worker serialization caveats
 ----------------------------
 Jobs routinely close over lambdas and rich schedule objects, so the job is

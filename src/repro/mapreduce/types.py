@@ -62,6 +62,11 @@ class TaskResult:
         events: timestamped events recorded by the task (global time).
         output: records written via ``context.write`` (reduce side) or
             emitted key-value pairs (map side, grouped by partition).
+        num_failed_attempts: attempts that crashed (or were injected as
+            legacy full-cost failures) before the task committed.
+        speculative: True when the committing attempt was a speculative
+            backup that beat the original (see
+            :mod:`repro.mapreduce.faults`).
     """
 
     task_id: int
@@ -70,6 +75,8 @@ class TaskResult:
     end_time: float
     events: List[Event] = field(default_factory=list)
     output: List[Any] = field(default_factory=list)
+    num_failed_attempts: int = 0
+    speculative: bool = False
 
 
 @dataclass

@@ -240,6 +240,7 @@ def format_trace_summary(tracer: Tracer, *, width: int = 48) -> str:
                     span.arg("duplicates", 0)
                 )
 
+        attempts = [s for s in spans if s.category == "attempt"]
         for phase in ("map", "reduce"):
             phase_tasks = sorted(
                 (s for s in tasks if s.arg("phase") == phase),
@@ -255,6 +256,18 @@ def format_trace_summary(tracer: Tracer, *, width: int = 48) -> str:
                 f"makespan {max(s.end for s in phase_tasks) - lo:,.1f}  "
                 f"skew {skew:.2f} (max {max(costs):,.1f} / mean {mean:,.1f})"
             )
+            phase_attempts = [s for s in attempts if s.arg("phase") == phase]
+            if phase_attempts:
+                # Fault-injection line: only rendered when retries or
+                # speculation actually happened, so fault-free output is
+                # unchanged.
+                failed = sum(1 for s in phase_attempts if s.arg("failed"))
+                killed = sum(1 for s in phase_attempts if s.arg("killed"))
+                spec = sum(1 for s in phase_attempts if s.arg("speculative"))
+                lines.append(
+                    f"         {len(phase_attempts):3d} extra attempts  "
+                    f"{failed} failed, {killed} killed, {spec} speculative"
+                )
             for span in phase_tasks:
                 task = span.arg("task", 0)
                 start = int((span.start - lo) / horizon * width)
@@ -266,6 +279,10 @@ def format_trace_summary(tracer: Tracer, *, width: int = 48) -> str:
                         f"  blocks {blocks_per_task.get(task, 0):4d}"
                         f"  dups {dups_per_task.get(task, 0):4d}"
                     )
+                if span.arg("attempt"):
+                    annotation += f"  attempt {span.arg('attempt')}"
+                if span.arg("speculative"):
+                    annotation += "  speculative"
                 lines.append(f"    {phase}[{task:3d}] |{bar}|{annotation}")
     return "\n".join(lines) if lines else "(empty trace)"
 

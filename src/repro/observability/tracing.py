@@ -12,7 +12,12 @@ of spans over the **virtual** timeline the engine already computes:
   (``start_time`` / ``map_phase_end`` / ``end_time``);
 * **task / attempt** spans come from :class:`~repro.mapreduce.engine.SlotPool`
   placements (one span per attempt, failed attempts included), carrying the
-  slot index so a viewer lays tasks out one row per slot;
+  slot index so a viewer lays tasks out one row per slot.  Under a
+  :class:`~repro.mapreduce.faults.FaultPlan`, each non-winning attempt is
+  an ``"attempt"`` span flagged ``failed=True`` or ``killed=True`` (plus
+  ``speculative=True`` for backups) and the winning attempt is the
+  ``"task"`` span, annotated with its attempt ordinal / speculative flag
+  only when non-default — so a fault-free plan emits byte-identical spans;
 * **block / setup** spans are recorded *inside* tasks as
   :class:`~repro.mapreduce.types.SpanFragment` objects in task-local time
   and rebased by the engine — they travel in the task payload, so the

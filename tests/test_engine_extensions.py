@@ -1,8 +1,11 @@
-"""Tests for the engine's combiner support and failure injection."""
+"""Tests for the engine's combiner support, failure injection, and the
+slot pool's cost validation."""
+
+import math
 
 import pytest
 
-from repro.mapreduce import Cluster, Combiner, MapReduceJob, Mapper, Reducer
+from repro.mapreduce import Cluster, Combiner, MapReduceJob, Mapper, Reducer, SlotPool
 
 
 class _WordMapper(Mapper):
@@ -54,6 +57,47 @@ class TestCombiner:
         lines = ["x x", "x"]
         result = Cluster(1).run_job(_job(Splitter()), lines)
         assert dict(result.output) == {"x": 3}
+
+
+class TestSlotPoolCostGuard:
+    """`SlotPool.schedule` validates cost: zero is a legitimate empty-split
+    task, but negative and non-finite costs are scheduling-model bugs that
+    previously produced silently corrupt timelines."""
+
+    @pytest.mark.parametrize("cost", [-1.0, -1e-9, float("nan"), float("inf")])
+    def test_rejects_negative_and_nonfinite_cost(self, cost):
+        pool = SlotPool(2, 0.0)
+        with pytest.raises(ValueError):
+            pool.schedule(cost)
+
+    def test_zero_cost_task_is_a_zero_length_attempt(self):
+        """Empty input splits produce zero-cost map tasks (like Hadoop on
+        an empty split): they occupy a placement but no time."""
+        pool = SlotPool(1, 3.0)
+        start, end, slot = pool.schedule(0.0)
+        assert (start, end, slot) == (3.0, 3.0, 0)
+        assert pool.makespan == 3.0
+
+    def test_rejected_cost_leaves_pool_state_intact(self):
+        pool = SlotPool(1, 0.0)
+        with pytest.raises(ValueError):
+            pool.schedule(float("nan"))
+        # The failed call must not have consumed the slot.
+        start, end, slot = pool.schedule(2.0)
+        assert (start, end, slot) == (0.0, 2.0, 0)
+
+    def test_empty_input_job_still_runs(self):
+        """End to end: an empty input yields zero-cost map tasks, which the
+        guard must keep accepting."""
+        result = Cluster(2).run_job(_job(), [])
+        assert result.output == []
+        assert result.end_time == 0.0
+
+    def test_math_isfinite_contract(self):
+        # The guard uses math.isfinite: document the accepted domain.
+        assert math.isfinite(0.0) and math.isfinite(1e300)
+        pool = SlotPool(1, 0.0)
+        assert pool.schedule(1e300)[2] == 0
 
 
 class TestFailureInjection:

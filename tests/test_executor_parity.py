@@ -16,11 +16,14 @@ from repro.evaluation import ExperimentRun, RunSpec, sample_times
 from repro.mapreduce import (
     Cluster,
     Combiner,
+    FaultPlan,
     MapReduceJob,
     Mapper,
     ParallelExecutor,
     Reducer,
+    RetryPolicy,
     SerialExecutor,
+    SpeculationConfig,
     make_executor,
 )
 
@@ -177,6 +180,58 @@ class TestEngineParity:
         )
         default = cluster.run_job(_wordcount_job(), _LINES)
         assert job_fingerprint(override) == job_fingerprint(default)
+
+
+class TestFaultParity:
+    """Seeded fault plans decide everything in the driver, so they cannot
+    distinguish backends — faulty runs stay bit-identical."""
+
+    #: Crashes + seeded stragglers + speculation + backoff, all at once.
+    PLAN = FaultPlan(
+        seed=11,
+        fault_rate=0.25,
+        straggler_rate=0.3,
+        straggler_factor=2.0,
+        retry=RetryPolicy(max_attempts=50, backoff_base=0.25),
+        speculation=SpeculationConfig(enabled=True, threshold=1.5),
+    )
+
+    def test_wordcount_fault_parity(self):
+        serial = Cluster(2, faults=self.PLAN).run_job(_wordcount_job(), _LINES)
+        process = Cluster(
+            2, executor=ParallelExecutor(WORKERS), faults=self.PLAN
+        ).run_job(_wordcount_job(), _LINES)
+        assert job_fingerprint(serial) == job_fingerprint(process)
+
+    def test_progressive_pipeline_fault_parity(self, citeseer_small, citeseer_cfg):
+        plan = FaultPlan(
+            seed=5, fault_rate=0.1, retry=RetryPolicy(max_attempts=50)
+        )
+        serial = ExperimentRun(
+            RunSpec(
+                citeseer_small, citeseer_cfg, machines=6,
+                executor=SerialExecutor(), faults=plan,
+            )
+        ).run()
+        process = ExperimentRun(
+            RunSpec(
+                citeseer_small, citeseer_cfg, machines=6,
+                executor=ParallelExecutor(WORKERS), faults=plan,
+            )
+        ).run()
+        assert run_fingerprint(serial) == run_fingerprint(process)
+
+    def test_zero_rate_plan_reproduces_clean_run(self, citeseer_small, citeseer_cfg):
+        clean = ExperimentRun(
+            RunSpec(citeseer_small, citeseer_cfg, machines=6)
+        ).run()
+        zeroed = ExperimentRun(
+            RunSpec(
+                citeseer_small, citeseer_cfg, machines=6,
+                faults=FaultPlan(seed=99),
+            )
+        ).run()
+        assert run_fingerprint(clean) == run_fingerprint(zeroed)
 
 
 class TestExecutorApi:

@@ -1,0 +1,146 @@
+"""Pin the legacy ``map_failures`` / ``reduce_failures`` retry path.
+
+The ``{task_id: n}`` failure dicts predate :class:`FaultPlan` and model
+Hadoop's deterministic full-cost retry: a failed attempt occupies its slot
+for the task's entire cost, then the task re-executes from scratch.  These
+tests pin the exact arithmetic (attempt placement, timeline stretch, slot
+choice, counters, trace spans) so the path can later be refactored onto
+:class:`~repro.mapreduce.faults.RetryPolicy` without behaviour drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce import Cluster, MapReduceJob, Mapper, Reducer, SlotPool
+from repro.mapreduce.engine import Cluster as EngineCluster
+from repro.observability import Tracer
+
+
+class _Identity(Mapper):
+    def map(self, record, context):
+        context.emit(record, 1)
+
+
+class _Count(Reducer):
+    def reduce(self, key, values, context):
+        context.charge(1.0)
+        context.write((key, len(values)))
+
+
+def _job(name="legacy"):
+    return MapReduceJob(_Identity, _Count, name=name)
+
+
+class TestScheduleAttempts:
+    """`Cluster._schedule_attempts` is the whole legacy model: one slot,
+    ``failures + 1`` back-to-back full-cost attempts."""
+
+    def test_failed_attempts_occupy_full_cost(self):
+        pool = SlotPool(2, 0.0)
+        start, end, attempt_start, slot = EngineCluster._schedule_attempts(
+            pool, 3.0, 2
+        )
+        assert (start, end, attempt_start, slot) == (0.0, 9.0, 6.0, 0)
+
+    def test_zero_failures_degenerates_to_plain_schedule(self):
+        pool = SlotPool(2, 5.0)
+        start, end, attempt_start, slot = EngineCluster._schedule_attempts(
+            pool, 4.0, 0
+        )
+        assert (start, end, attempt_start, slot) == (5.0, 9.0, 5.0, 0)
+
+    def test_all_attempts_stay_on_one_slot(self):
+        """Legacy retries never migrate: a 7-unit task with 3 failures
+        blocks its slot for 28 units while the other slot stays free."""
+        pool = SlotPool(2, 0.0)
+        EngineCluster._schedule_attempts(pool, 7.0, 3)
+        start, end, slot = pool.schedule(1.0)
+        assert (start, slot) == (0.0, 1)  # slot 1 untouched at t=0
+
+    def test_attempts_follow_earliest_free_slot_order(self):
+        pool = SlotPool(2, 0.0)
+        EngineCluster._schedule_attempts(pool, 10.0, 0)  # slot 0 until 10
+        _, _, attempt_start, slot = EngineCluster._schedule_attempts(
+            pool, 2.0, 1
+        )
+        assert slot == 1  # earliest-free wins
+        assert attempt_start == 2.0  # one failed attempt first
+
+
+class TestLegacyTimelineStretch:
+    def test_map_failure_stretches_by_full_costs(self):
+        records = ["a", "b", "c", "d"]
+        clean = Cluster(1).run_job(_job(), records, num_map_tasks=2)
+        failed = Cluster(1).run_job(
+            _job(), records, num_map_tasks=2, map_failures={0: 2}
+        )
+        clean_task = clean.map_tasks[0]
+        failed_task = failed.map_tasks[0]
+        cost = clean_task.cost
+        # Two failed attempts prepend exactly 2 * cost to the task.
+        assert failed_task.end_time == pytest.approx(
+            clean_task.end_time + 2 * cost
+        )
+        assert failed_task.start_time == clean_task.start_time
+        assert failed_task.num_failed_attempts == 2
+        assert not failed_task.speculative
+
+    def test_reduce_phase_waits_for_stretched_map(self):
+        records = ["a", "b"]
+        clean = Cluster(1).run_job(_job(), records, num_map_tasks=1)
+        failed = Cluster(1).run_job(
+            _job(), records, num_map_tasks=1, map_failures={0: 1}
+        )
+        cost = clean.map_tasks[0].cost
+        assert failed.map_phase_end == pytest.approx(
+            clean.map_phase_end + cost
+        )
+        # The reduce barrier moves with the map phase.
+        for clean_t, failed_t in zip(clean.reduce_tasks, failed.reduce_tasks):
+            assert failed_t.start_time == pytest.approx(
+                clean_t.start_time + cost
+            )
+
+    def test_retry_counters_match_injection(self):
+        result = Cluster(2).run_job(
+            _job(), ["a", "b", "c"], map_failures={0: 2, 1: 1},
+            reduce_failures={0: 3},
+        )
+        assert result.counters.get("engine", "map_retries") == 3
+        assert result.counters.get("engine", "reduce_retries") == 3
+
+    def test_failed_attempt_count_lands_on_task_results(self):
+        result = Cluster(2).run_job(
+            _job(), ["a", "b", "c"], map_failures={1: 2}
+        )
+        per_task = {t.task_id: t.num_failed_attempts for t in result.map_tasks}
+        assert per_task[1] == 2
+        assert all(n == 0 for tid, n in per_task.items() if tid != 1)
+
+
+class TestLegacyTraceSpans:
+    def test_attempt_spans_tile_the_task_slot(self):
+        tracer = Tracer()
+        Cluster(1, tracer=tracer).run_job(
+            _job(), ["a", "b"], num_map_tasks=1, map_failures={0: 2}
+        )
+        attempts = sorted(
+            (s for s in tracer.spans if s.category == "attempt"),
+            key=lambda s: s.start,
+        )
+        task = next(
+            s
+            for s in tracer.spans
+            if s.category == "task" and s.arg("phase") == "map"
+        )
+        assert len(attempts) == 2
+        assert all(s.arg("failed") for s in attempts)
+        # Back-to-back on the same track, ending where the success begins.
+        assert attempts[0].end == attempts[1].start
+        assert attempts[1].end == task.start
+        assert {s.track for s in attempts} == {task.track}
+        assert [s.name for s in attempts] == [
+            "map-0/attempt-0",
+            "map-0/attempt-1",
+        ]

@@ -16,10 +16,23 @@ from __future__ import annotations
 import pytest
 
 from repro.evaluation import ExperimentRun, RunSpec
-from repro.mapreduce import ParallelExecutor, SerialExecutor
+from repro.mapreduce import (
+    Cluster,
+    FaultPlan,
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    SpeculationConfig,
+)
 from repro.observability import MetricsRegistry, Tracer
 
-from test_executor_parity import WORKERS, run_fingerprint
+from test_executor_parity import (
+    _LINES,
+    WORKERS,
+    _wordcount_job,
+    job_fingerprint,
+    run_fingerprint,
+)
 
 
 def _run(dataset, config, *, executor, tracer=None, metrics=None, machines=10):
@@ -95,6 +108,79 @@ class TestCrossBackendTraceParity:
             tracer=Tracer(),
         )
         assert serial.tracer.span_set() == process.tracer.span_set()
+
+
+class TestFaultTraceParity:
+    """Fault-injected traces obey the same contracts as clean ones: the
+    tracer never perturbs virtual time, both backends emit identical span
+    sets, and an inert plan's trace is byte-identical to no plan."""
+
+    PLAN = FaultPlan(
+        seed=11,
+        fault_rate=0.25,
+        slot_slowdowns={1: 3.0},
+        retry=RetryPolicy(max_attempts=50, backoff_base=0.25),
+        speculation=SpeculationConfig(enabled=True, threshold=1.5),
+    )
+
+    def _spans(self, faults, executor=None):
+        tracer = Tracer()
+        result = Cluster(
+            2, tracer=tracer, faults=faults, executor=executor
+        ).run_job(_wordcount_job(), _LINES)
+        return tracer, result
+
+    def test_fault_span_sets_identical_across_backends(self):
+        serial, _ = self._spans(self.PLAN)
+        process, _ = self._spans(self.PLAN, ParallelExecutor(WORKERS))
+        assert serial.span_set() == process.span_set()
+        assert set(serial.instants) == set(process.instants)
+
+    def test_inert_plan_trace_is_byte_identical(self):
+        clean, _ = self._spans(None)
+        inert, _ = self._spans(FaultPlan(seed=123))
+        assert clean.span_set() == inert.span_set()
+
+    def test_tracing_does_not_perturb_faulty_virtual_time(self):
+        _, traced = self._spans(self.PLAN)
+        untraced = Cluster(2, faults=self.PLAN).run_job(
+            _wordcount_job(), _LINES
+        )
+        assert job_fingerprint(traced) == job_fingerprint(untraced)
+
+    def test_fault_attempt_spans_annotated(self):
+        tracer, result = self._spans(self.PLAN)
+        attempts = [s for s in tracer.spans if s.category == "attempt"]
+        assert attempts, "the pinned plan must produce extra attempts"
+        for span in attempts:
+            assert span.arg("failed") or span.arg("killed")
+        flat = result.counters.as_flat_dict()
+        failed_spans = sum(1 for s in attempts if s.arg("failed"))
+        killed_spans = sum(1 for s in attempts if s.arg("killed"))
+        assert failed_spans == flat.get("fault.map_failed_attempts", 0) + flat.get(
+            "fault.reduce_failed_attempts", 0
+        )
+        assert killed_spans == flat.get("fault.map_killed_attempts", 0) + flat.get(
+            "fault.reduce_killed_attempts", 0
+        )
+
+    def test_speculative_winner_flagged_on_task_span(self):
+        plan = FaultPlan(
+            slot_slowdowns={0: 10.0},
+            speculation=SpeculationConfig(enabled=True, threshold=1.5),
+        )
+        tracer, result = self._spans(plan)
+        spec_tasks = [
+            s
+            for s in tracer.spans
+            if s.category == "task" and s.arg("speculative")
+        ]
+        spec_results = [
+            t
+            for t in result.map_tasks + result.reduce_tasks
+            if t.speculative
+        ]
+        assert len(spec_tasks) == len(spec_results) > 0
 
 
 class TestSpanCoverage:
