@@ -38,10 +38,12 @@ from .evaluation import (
 )
 from .evaluation.charts import ascii_chart
 from .mapreduce import BACKENDS, FaultPlan, RetryPolicy, SpeculationConfig
+from .mapreduce.executors import make_executor
 from .mechanisms import PSNM, SortedNeighborHint
 from .observability import (
     MetricsRegistry,
     Tracer,
+    format_perf_report,
     format_trace_summary,
     write_chrome_trace,
     write_trace_jsonl,
@@ -204,13 +206,21 @@ def _add_observability_options(parser: argparse.ArgumentParser) -> None:
         help="print a per-task Gantt/skew summary of the trace "
         "(implies tracing)",
     )
+    parser.add_argument(
+        "--perf-report",
+        action="store_true",
+        help="print a per-phase runtime cost table (wall clock, task "
+        "fan-out, IPC wire bytes vs plain pickle, pool forks; implies "
+        "metrics collection)",
+    )
 
 
 def _observers(args: argparse.Namespace):
     """(tracer, metrics) from the CLI flags; None when not requested."""
     want_trace = args.trace is not None or args.skew
     tracer = Tracer() if want_trace else None
-    metrics = MetricsRegistry() if args.metrics is not None else None
+    want_metrics = args.metrics is not None or args.perf_report
+    metrics = MetricsRegistry() if want_metrics else None
     return tracer, metrics
 
 
@@ -227,6 +237,9 @@ def _write_observations(args: argparse.Namespace, tracer, metrics) -> None:
     if tracer is not None and args.skew:
         print()
         print(format_trace_summary(tracer))
+    if metrics is not None and args.perf_report:
+        print()
+        print(format_perf_report(metrics))
 
 
 _MAKERS = {"citeseer": make_citeseer, "books": make_books, "people": make_people}
@@ -268,12 +281,22 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _run_spec(args: argparse.Namespace, config, **overrides) -> RunSpec:
     """A RunSpec wired from the shared CLI options."""
+    backend = getattr(args, "backend", None)
+    executor = None
+    if backend == "process" and getattr(args, "perf_report", False):
+        # The perf report wants the plain-pickle baseline next to the wire
+        # bytes; that costs an extra pickle pass per task, so only the
+        # explicit --perf-report path turns it on.
+        executor = make_executor(
+            backend, getattr(args, "workers", None), profile_wire=True
+        )
     return RunSpec(
         dataset=overrides.pop("dataset"),
         config=config,
         machines=args.machines,
-        backend=getattr(args, "backend", None),
+        backend=backend,
         workers=getattr(args, "workers", None),
+        executor=executor,
         faults=_fault_plan(args) if hasattr(args, "fault_rate") else None,
         **overrides,
     )

@@ -176,8 +176,10 @@ class ExperimentRun:
                 spec.config, self.cluster, strategy=spec.strategy, seed=spec.seed
             ).run(spec.dataset)
         if spec.metrics is not None:
-            # Process-wide matcher statistics at run end (driver process
-            # only; worker caches diverge and are intentionally not merged).
+            # Process-wide matcher statistics at run end.  Per-phase worker
+            # deltas are already aggregated into the phase snapshots (task
+            # payloads carry them home); this cumulative driver-process view
+            # is kept for cache_entries and cross-run totals.
             spec.metrics.snapshot("matcher", similarity_cache_counters())
         curve = recall_curve(
             result.duplicate_events, spec.dataset, end_time=result.total_time

@@ -12,10 +12,12 @@ from .counters import Counters
 from .engine import Cluster, SlotPool
 from .executors import (
     BACKENDS,
+    DEFAULT_SERIAL_FLOOR,
     Executor,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+    register_task_stat_source,
 )
 from .faults import (
     FaultPlan,
@@ -48,6 +50,8 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "register_task_stat_source",
+    "DEFAULT_SERIAL_FLOOR",
     "BACKENDS",
     "FaultPlan",
     "FaultScheduler",

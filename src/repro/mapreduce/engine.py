@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 from .clock import CostModel
@@ -200,33 +201,40 @@ class Cluster:
         backend = executor if executor is not None else self.executor
 
         counters = Counters()
-        map_results, partitions = self._run_map_phase(
-            job, records, n_map, n_red, start_time, counters,
-            map_failures or {}, backend, plan,
-        )
-        map_phase_end = max((t.end_time for t in map_results), default=start_time)
-        if self.metrics is not None:
-            self.metrics.snapshot(
-                f"{job.name}/map",
-                counters,
-                backend=backend.name,
-                tasks=len(map_results),
-                phase_end=map_phase_end,
+        # Wall-clock / IPC bookkeeping per phase.  Strictly observational
+        # and backend-dependent by nature, so it lives in the metrics
+        # registry (and the backend's own `stats`), never in job counters.
+        aux = Counters()
+        splits = split_input(records, n_map)
+        # The splits must exist before the pool forks: the parallel backend
+        # hands them to workers via copy-on-write inheritance.
+        backend.begin_job(job, splits, self.cost_model)
+        try:
+            wall_start = time.perf_counter()
+            map_results, partitions = self._run_map_phase(
+                job, splits, n_red, start_time, counters, aux,
+                map_failures or {}, backend, plan,
+            )
+            map_wall = time.perf_counter() - wall_start
+            map_phase_end = max((t.end_time for t in map_results), default=start_time)
+            self._snapshot_phase(
+                f"{job.name}/map", counters, aux, backend,
+                tasks=len(map_results), phase_end=map_phase_end, wall=map_wall,
             )
 
-        reduce_results, files = self._run_reduce_phase(
-            job, partitions, n_red, map_phase_end, counters,
-            reduce_failures or {}, backend, plan,
-        )
-        end_time = max((t.end_time for t in reduce_results), default=map_phase_end)
-        if self.metrics is not None:
-            self.metrics.snapshot(
-                f"{job.name}/reduce",
-                counters,
-                backend=backend.name,
-                tasks=len(reduce_results),
-                phase_end=end_time,
+            wall_start = time.perf_counter()
+            reduce_results, files = self._run_reduce_phase(
+                job, partitions, n_red, map_phase_end, counters, aux,
+                reduce_failures or {}, backend, plan,
             )
+            reduce_wall = time.perf_counter() - wall_start
+            end_time = max((t.end_time for t in reduce_results), default=map_phase_end)
+            self._snapshot_phase(
+                f"{job.name}/reduce", counters, aux, backend,
+                tasks=len(reduce_results), phase_end=end_time, wall=reduce_wall,
+            )
+        finally:
+            backend.end_job()
         if self.tracer is not None:
             self.tracer.record_span(
                 job.name, "job", start_time, end_time, job=job.name
@@ -263,14 +271,59 @@ class Cluster:
 
     # ------------------------------------------------------------------
 
+    def _snapshot_phase(
+        self,
+        scope: str,
+        counters: Counters,
+        aux: Counters,
+        backend: Executor,
+        *,
+        tasks: int,
+        phase_end: float,
+        wall: float,
+    ) -> None:
+        """Record one phase in the metrics registry (no-op without one).
+
+        The snapshot carries the cumulative job counters plus two strictly
+        observational layers: the backend's per-phase performance
+        statistics (``driver.pool_forks``, ``driver.ipc_bytes``, …) and the
+        task-stat aggregates carried in payloads (``matcher.cache_hits``,
+        …).  Both are wall-clock facts that legitimately differ between
+        backends, which is why they are surfaced here and never merged
+        into the backend-identical job counters.
+        """
+        perf = backend.drain_stats()
+        if self.metrics is None:
+            return
+        flat = counters.as_flat_dict()
+        for name, value in sorted(perf.items()):
+            if value:
+                flat[f"driver.{name}"] = value
+        for (group, name), value in sorted(aux.items()):
+            flat[f"{group}.{name}"] = value
+        self.metrics.snapshot(
+            scope,
+            flat,
+            backend=backend.name,
+            tasks=tasks,
+            phase_end=phase_end,
+            wall_seconds=round(wall, 6),
+        )
+
+    @staticmethod
+    def _collect_stat_deltas(aux: Counters, payload: Any) -> None:
+        """Fold a payload's per-task process statistics into ``aux``."""
+        for group, name, delta in payload.stat_deltas:
+            aux.increment(group, name, delta)
+
     def _run_map_phase(
         self,
         job: MapReduceJob,
-        records: Sequence[Any],
-        n_map: int,
+        splits: List[List[Any]],
         n_red: int,
         start_time: float,
         counters: Counters,
+        aux: Counters,
         failures: dict,
         backend: Executor,
         faults: Optional[FaultPlan],
@@ -281,7 +334,6 @@ class Cluster:
         scheduling, counter aggregation and partitioning replay them here,
         in task-id order, so the timeline never depends on the backend.
         """
-        splits = split_input(records, n_map)
         payloads = backend.run_map_phase(job, splits, self.cost_model)
         pool = SlotPool(self.machines * self.map_slots, start_time)
         schedules = self._fault_schedules(
@@ -294,6 +346,7 @@ class Cluster:
         for payload in payloads:
             task_id = payload.task_id
             counters.merge(payload.counters)
+            self._collect_stat_deltas(aux, payload)
             if job.combiner is not None:
                 counters.increment("engine", "combine_input", payload.combine_input)
                 counters.increment("engine", "combine_output", payload.combine_output)
@@ -528,6 +581,7 @@ class Cluster:
         n_red: int,
         phase_start: float,
         counters: Counters,
+        aux: Counters,
         failures: dict,
         backend: Executor,
         faults: Optional[FaultPlan],
@@ -545,6 +599,7 @@ class Cluster:
         for payload in payloads:
             task_id = payload.task_id
             counters.merge(payload.counters)
+            self._collect_stat_deltas(aux, payload)
             counters.increment("engine", "reduce_groups", payload.num_groups)
             counters.increment("engine", "reduce_records", payload.num_records)
 

@@ -18,17 +18,49 @@ concerns:
 An :class:`Executor` only decides *where* the per-task computations run:
 
 * :class:`SerialExecutor` — in-process, one task at a time (the default);
-* :class:`ParallelExecutor` — fans the tasks of a phase out to worker
-  processes via a fork-context :class:`concurrent.futures.ProcessPoolExecutor`.
+* :class:`ParallelExecutor` — fans tasks out to a pool of forked worker
+  processes that lives for the duration of one *job* (both phases), with
+  chunked dispatch, a slim wire format and an adaptive serial fallback for
+  phases too small to pay for IPC.
+
+Parallel runtime design
+-----------------------
+The engine brackets every job with :meth:`Executor.begin_job` /
+:meth:`Executor.end_job`.  For the parallel backend that means:
+
+* **one fork per job, not per phase** — the job (full of lambdas and
+  schedule objects, so never picklable) and its map splits are stashed in a
+  module global before the pool forks; workers inherit everything
+  copy-on-write and both phases run through the same pool.  The pool is
+  created lazily, so a job whose phases all fall under the serial floor
+  never forks at all.
+* **chunked dispatch** — tasks are submitted with
+  ``chunksize ≈ tasks / (4 * workers)``, so phases with many small tasks
+  amortize the per-message round-trip instead of paying it per task.
+* **explicit phase shipping** — reduce inputs only exist in the driver
+  (they are map outputs), so they cannot arrive via fork inheritance;
+  each reduce task's partition travels to its worker inside the chunked
+  task message, wire-encoded.
+* **slim wire format** — payloads (and shipped reduce inputs) cross the
+  pipe in the compact encoding of :mod:`repro.mapreduce.wire` instead of
+  plain dataclass pickles; the executor counts actual wire bytes (and,
+  when ``profile_wire`` is on, the plain-pickle baseline) so the win is
+  measurable via the engine's ``driver.*`` metrics.
+* **adaptive serial fallback** — a phase whose estimated virtual cost is
+  below :attr:`ParallelExecutor.serial_floor` runs in-process: the
+  dispatch overhead would exceed the fanned-out compute.
 
 Determinism contract
 --------------------
 Both backends produce **bit-for-bit identical** job results: the payload of
 a task depends only on the task's inputs (tasks never share mutable state —
 each gets a fresh mapper/reducer from its factory), floating-point virtual
-costs are computed by the same pure Python code in either process, and the
-driver consumes payloads in task-id order regardless of the order workers
-finish in.  Wall-clock time is the only observable difference.
+costs are computed by the same pure Python code in either process, the wire
+encoding is lossless, and the driver consumes payloads in task-id order
+regardless of the order workers finish in.  Wall-clock time — and the
+`driver.*` performance statistics that describe it — is the only observable
+difference, which is why those statistics live in the metrics registry and
+never inside job counters.
 
 Fault injection keeps the contract for free: every fault decision (seeded
 crashes, straggler slowdowns, speculation — see
@@ -40,13 +72,12 @@ one.
 Worker serialization caveats
 ----------------------------
 Jobs routinely close over lambdas and rich schedule objects, so the job is
-*not* pickled to workers.  Instead the parallel backend relies on the POSIX
-``fork`` start method: phase state is stashed in a module global immediately
-before the pool is created, and workers inherit it via copy-on-write.  Task
-*results* (payloads) are pickled back to the driver, so everything a mapper
-emits, a reducer writes, and every event payload must be picklable.  On
-platforms without ``fork`` the parallel backend transparently degrades to
-in-process execution (results are identical either way).
+*not* pickled to workers; the parallel backend requires the POSIX ``fork``
+start method.  Task results (and shipped reduce inputs) cross the pipe
+wire-encoded, so everything a mapper emits, a reducer writes, and every
+event payload must be picklable.  On platforms without ``fork`` the
+parallel backend transparently degrades to in-process execution (results
+are identical either way).
 """
 
 from __future__ import annotations
@@ -55,12 +86,16 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from . import wire
 from .clock import CostModel
 from .counters import Counters
 from .job import MapReduceJob, TaskContext
 from .types import Event, KeyValue, OutputFile, SpanFragment
+
+#: Per-task statistic deltas: ``(group, name, delta)`` triples.
+StatDeltas = Tuple[Tuple[str, str, int], ...]
 
 
 @dataclass
@@ -79,6 +114,12 @@ class MapTaskPayload:
             has no combiner).
         spans: trace-span fragments recorded by the task (local time, like
             ``events``); empty unless the running cluster has a tracer.
+        stat_deltas: per-task deltas of registered process statistics (see
+            :func:`register_task_stat_source`) — e.g. the similarity-cache
+            hits/misses this task caused in whichever process ran it.
+            Wall-clock bookkeeping only: the engine routes them to the
+            metrics registry, never into job counters, because per-worker
+            cache state legitimately differs between backends.
     """
 
     task_id: int
@@ -90,6 +131,7 @@ class MapTaskPayload:
     combine_input: int = 0
     combine_output: int = 0
     spans: List[SpanFragment] = field(default_factory=list)
+    stat_deltas: StatDeltas = ()
 
 
 @dataclass
@@ -105,6 +147,47 @@ class ReduceTaskPayload:
     num_groups: int = 0
     num_records: int = 0
     spans: List[SpanFragment] = field(default_factory=list)
+    stat_deltas: StatDeltas = ()
+
+
+# ---------------------------------------------------------------------------
+# Per-task process statistics (similarity-cache deltas et al.)
+# ---------------------------------------------------------------------------
+
+#: Registered statistic sources: group -> zero-arg callable returning the
+#: process-cumulative ``{name: value}`` snapshot for that group.
+_TASK_STAT_SOURCES: Dict[str, Callable[[], Mapping[str, int]]] = {}
+
+
+def register_task_stat_source(
+    group: str, source: Callable[[], Mapping[str, int]]
+) -> None:
+    """Register a process-wide statistic to be sampled around every task.
+
+    ``source()`` must return a cumulative ``{name: value}`` mapping; the
+    per-task *delta* rides back to the driver in the payload's
+    ``stat_deltas``, which is how worker-process cache statistics become
+    visible to the driver's metrics.  Registering the same group again
+    replaces the source (idempotent re-imports).
+    """
+    _TASK_STAT_SOURCES[group] = source
+
+
+def _stat_snapshot() -> Dict[Tuple[str, str], int]:
+    return {
+        (group, name): value
+        for group, source in _TASK_STAT_SOURCES.items()
+        for name, value in source().items()
+    }
+
+
+def _stat_deltas(before: Dict[Tuple[str, str], int]) -> StatDeltas:
+    after = _stat_snapshot()
+    return tuple(
+        (group, name, value - before.get((group, name), 0))
+        for (group, name), value in sorted(after.items())
+        if value != before.get((group, name), 0)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -119,6 +202,7 @@ def compute_map_task(
     cost_model: CostModel,
 ) -> MapTaskPayload:
     """Run one map task to completion and return its payload."""
+    stats_before = _stat_snapshot()
     context = TaskContext(task_id, cost_model, job.config)
     mapper = job.mapper_factory()
     mapper.setup(context)
@@ -142,6 +226,7 @@ def compute_map_task(
         combine_input=combine_input,
         combine_output=combine_output,
         spans=list(context.span_fragments),
+        stat_deltas=_stat_deltas(stats_before),
     )
 
 
@@ -168,6 +253,7 @@ def compute_reduce_task(
     """Run one reduce task (shuffle charge, sort, reduce calls) and return
     its payload.  Output-file close times stay task-local until the engine
     schedules the task and rebases them."""
+    stats_before = _stat_snapshot()
     context = TaskContext(task_id, cost_model, job.config, alpha=job.alpha)
     # Shuffle: pull records in, then sort groups by key.
     context.charge(cost_model.shuffle_record * len(items))
@@ -192,6 +278,7 @@ def compute_reduce_task(
         num_groups=len(keys),
         num_records=len(items),
         spans=list(context.span_fragments),
+        stat_deltas=_stat_deltas(stats_before),
     )
 
 
@@ -219,9 +306,35 @@ class Executor:
     Implementations must return payloads in task-id order and must not
     change the payloads' contents relative to :class:`SerialExecutor` —
     the engine relies on this for cross-backend determinism.
+
+    The engine brackets every job with :meth:`begin_job` / :meth:`end_job`
+    (both no-ops by default) so backends can hold per-job resources — the
+    parallel backend's worker pool lives exactly that long.  After each
+    phase the engine calls :meth:`drain_stats` and surfaces whatever the
+    backend measured as ``driver.*`` metrics.
     """
 
     name: str = "?"
+
+    def begin_job(
+        self,
+        job: MapReduceJob,
+        splits: Sequence[Sequence[Any]],
+        cost_model: CostModel,
+    ) -> None:
+        """Called once before the job's map phase (resources may be lazy)."""
+
+    def end_job(self) -> None:
+        """Called once after the job's reduce phase (idempotent)."""
+
+    def drain_stats(self) -> Dict[str, int]:
+        """Performance statistics accumulated since the last drain.
+
+        Wall-clock bookkeeping only (pool forks, wire bytes, chunks); the
+        engine routes these to the metrics registry, never into job
+        counters, so backends stay bit-identical in virtual time.
+        """
+        return {}
 
     def run_map_phase(
         self,
@@ -261,40 +374,61 @@ class SerialExecutor(Executor):
         ]
 
 
-class _PhaseState:
-    """One phase's inputs, stashed in a module global for fork inheritance."""
+class _JobState:
+    """One job's fork-inherited state, stashed in a module global.
 
-    __slots__ = ("kind", "job", "inputs", "cost_model")
+    Workers created while this is the active global inherit it (and
+    everything it references — the job's closures, the dataset slices in
+    the map splits) copy-on-write.  ``profile_wire`` rides along so workers
+    know whether to also measure the plain-pickle baseline.
+    """
 
-    def __init__(self, kind: str, job: MapReduceJob, inputs, cost_model) -> None:
-        self.kind = kind
+    __slots__ = ("job", "splits", "cost_model", "profile_wire")
+
+    def __init__(self, job, splits, cost_model, profile_wire) -> None:
         self.job = job
-        self.inputs = inputs
+        self.splits = splits
         self.cost_model = cost_model
-
-    def run_task(self, task_id: int):
-        if self.kind == "map":
-            return compute_map_task(
-                self.job, self.inputs[task_id], task_id, self.cost_model
-            )
-        return compute_reduce_task(
-            self.job, self.inputs[task_id], task_id, self.cost_model
-        )
+        self.profile_wire = profile_wire
 
 
-#: The phase currently being fanned out; workers inherit it at fork time.
-_ACTIVE_PHASE: Optional[_PhaseState] = None
+#: The job currently fanned out; workers inherit it at fork time.
+_ACTIVE_JOB: Optional[_JobState] = None
 
 
-def _run_phase_task(task_id: int):
-    """Top-level worker entry point (picklable by name)."""
-    phase = _ACTIVE_PHASE
-    if phase is None:  # pragma: no cover - defensive
+def _require_job() -> _JobState:
+    state = _ACTIVE_JOB
+    if state is None:  # pragma: no cover - defensive
         raise RuntimeError(
-            "worker has no inherited phase state; the parallel backend "
+            "worker has no inherited job state; the parallel backend "
             "requires the fork start method"
         )
-    return phase.run_task(task_id)
+    return state
+
+
+def _worker_map_task(task_id: int) -> Tuple[bytes, int]:
+    """Top-level map-task entry point (picklable by name).
+
+    Inputs arrive via fork inheritance (the split lives in the stashed job
+    state); the payload returns wire-encoded, along with the plain-pickle
+    baseline size when profiling is on (0 otherwise).
+    """
+    state = _require_job()
+    payload = compute_map_task(
+        state.job, state.splits[task_id], task_id, state.cost_model
+    )
+    raw = wire.raw_pickle_size(payload) if state.profile_wire else 0
+    return wire.encode_map_payload(payload), raw
+
+
+def _worker_reduce_task(task: Tuple[int, bytes]) -> Tuple[bytes, int]:
+    """Top-level reduce-task entry point: the partition ships with the task."""
+    state = _require_job()
+    task_id, blob = task
+    items = wire.decode_records(blob)
+    payload = compute_reduce_task(state.job, items, task_id, state.cost_model)
+    raw = wire.raw_pickle_size(payload) if state.profile_wire else 0
+    return wire.encode_reduce_payload(payload), raw
 
 
 def _default_workers() -> int:
@@ -305,14 +439,40 @@ def _default_workers() -> int:
         return os.cpu_count() or 1
 
 
-class ParallelExecutor(Executor):
-    """Fan each phase's tasks out to ``workers`` processes.
+#: Phases whose estimated virtual cost falls below this floor run
+#: in-process.  Calibrated against the CostModel defaults: dispatching a
+#: phase costs ~1 pool round-trip per chunk (hundreds of microseconds),
+#: while one virtual cost unit corresponds to one reference-length pair
+#: comparison (~10 µs of real work in this simulator), so phases cheaper
+#: than a few hundred units lose more to IPC than fan-out can recover.
+DEFAULT_SERIAL_FLOOR = 256.0
 
-    A fresh fork-context pool is created per phase so workers inherit the
-    phase state (job, splits/partitions) via copy-on-write — jobs are full
-    of lambdas and cannot be pickled.  Payloads come back pickled; the
-    engine replays them exactly as it would serial payloads, so results
-    are bit-for-bit identical to :class:`SerialExecutor`.
+#: Chunk divisor: aim for ~4 chunks per worker so stragglers still balance.
+CHUNKS_PER_WORKER = 4
+
+
+class ParallelExecutor(Executor):
+    """Fan each job's tasks out to a per-job pool of ``workers`` processes.
+
+    The engine brackets jobs with :meth:`begin_job` / :meth:`end_job`; the
+    fork-context pool is created lazily on the first phase that clears the
+    serial floor and reused for the rest of the job, so a job pays for at
+    most one pool fork (``driver.pool_forks`` ≤ jobs) instead of one per
+    phase.  Map inputs reach workers via copy-on-write fork inheritance;
+    reduce partitions (which only exist in the driver) ship with the
+    chunked task messages, wire-encoded.  Payloads come back in the slim
+    wire format; the engine replays them exactly as it would serial
+    payloads, so results are bit-for-bit identical to
+    :class:`SerialExecutor`.
+
+    Args:
+        workers: worker processes (default: visible CPU count).
+        serial_floor: phases with estimated virtual cost below this run
+            in-process (0 forces fan-out whenever possible).
+        profile_wire: also measure the plain-pickle baseline size of every
+            payload (``ipc_payload_raw_bytes``) — costs an extra pickle
+            pass per task, so benches turn it on and production runs leave
+            it off.
 
     When process parallelism cannot help — no ``fork`` support, a single
     worker, or a phase with fewer than two tasks — tasks run in-process,
@@ -321,55 +481,172 @@ class ParallelExecutor(Executor):
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        serial_floor: float = DEFAULT_SERIAL_FLOOR,
+        profile_wire: bool = False,
+    ) -> None:
         if workers is not None and workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers if workers is not None else _default_workers()
+        self.serial_floor = serial_floor
+        self.profile_wire = profile_wire
         self._can_fork = "fork" in multiprocessing.get_all_start_methods()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._job_state: Optional[_JobState] = None
+        self._phase_stats: Dict[str, int] = {}
+        #: Cumulative statistics across every job this executor ran
+        #: (never drained; benches read this directly).
+        self.stats: Dict[str, int] = {}
+
+    # -- job lifecycle -------------------------------------------------
+
+    def begin_job(self, job, splits, cost_model) -> None:
+        self.end_job()  # defensive: a crashed previous job left state behind
+        self._job_state = _JobState(job, splits, cost_model, self.profile_wire)
+
+    def end_job(self) -> None:
+        global _ACTIVE_JOB
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if _ACTIVE_JOB is self._job_state:
+            _ACTIVE_JOB = None
+        self._job_state = None
+
+    def close(self) -> None:
+        self.end_job()
+
+    def drain_stats(self) -> Dict[str, int]:
+        drained = self._phase_stats
+        self._phase_stats = {}
+        return drained
+
+    def _count(self, name: str, amount: int) -> None:
+        self._phase_stats[name] = self._phase_stats.get(name, 0) + amount
+        self.stats[name] = self.stats.get(name, 0) + amount
+
+    # -- phase execution -----------------------------------------------
 
     def run_map_phase(self, job, splits, cost_model):
-        return self._run_phase(_PhaseState("map", job, splits, cost_model), len(splits))
+        state = self._ensure_job(job, splits, cost_model)
+        num_tasks = len(splits)
+        estimate = cost_model.read_record * sum(len(s) for s in splits)
+        if not self._should_fan_out(num_tasks, estimate):
+            self._count("tasks_inline", num_tasks)
+            return [
+                compute_map_task(job, split, task_id, cost_model)
+                for task_id, split in enumerate(splits)
+            ]
+        pool = self._ensure_pool(state)
+        chunksize = self._chunksize(num_tasks)
+        self._count("tasks_fanned", num_tasks)
+        self._count("chunks", -(-num_tasks // chunksize))
+        results = list(
+            pool.map(_worker_map_task, range(num_tasks), chunksize=chunksize)
+        )
+        return [self._decode(blob, raw, wire.decode_map_payload) for blob, raw in results]
 
     def run_reduce_phase(self, job, partitions, cost_model):
-        return self._run_phase(
-            _PhaseState("reduce", job, partitions, cost_model), len(partitions)
+        state = self._ensure_job(job, None, cost_model)
+        num_tasks = len(partitions)
+        total_items = sum(len(p) for p in partitions)
+        estimate = (
+            cost_model.shuffle_record * total_items
+            + cost_model.sort_cost(total_items)
+        )
+        if not self._should_fan_out(num_tasks, estimate):
+            self._count("tasks_inline", num_tasks)
+            return [
+                compute_reduce_task(job, items, task_id, cost_model)
+                for task_id, items in enumerate(partitions)
+            ]
+        pool = self._ensure_pool(state)
+        tasks: List[Tuple[int, bytes]] = []
+        for task_id, items in enumerate(partitions):
+            blob = wire.encode_records(items)
+            self._count("ipc_input_bytes", len(blob))
+            self._count("ipc_bytes", len(blob))
+            tasks.append((task_id, blob))
+        chunksize = self._chunksize(num_tasks)
+        self._count("tasks_fanned", num_tasks)
+        self._count("chunks", -(-num_tasks // chunksize))
+        results = list(pool.map(_worker_reduce_task, tasks, chunksize=chunksize))
+        return [
+            self._decode(blob, raw, wire.decode_reduce_payload)
+            for blob, raw in results
+        ]
+
+    # -- internals -----------------------------------------------------
+
+    def _ensure_job(self, job, splits, cost_model) -> _JobState:
+        """The active job state (tolerates un-bracketed direct phase calls)."""
+        state = self._job_state
+        if state is None or state.job is not job:
+            self.begin_job(job, splits if splits is not None else [], cost_model)
+            state = self._job_state
+        return state
+
+    def _should_fan_out(self, num_tasks: int, estimated_cost: float) -> bool:
+        return (
+            self._can_fork
+            and self.workers >= 2
+            and num_tasks >= 2
+            and estimated_cost >= self.serial_floor
         )
 
-    def _run_phase(self, phase: _PhaseState, num_tasks: int):
-        if num_tasks == 0:
-            return []
-        if not self._can_fork or self.workers < 2 or num_tasks < 2:
-            return [phase.run_task(task_id) for task_id in range(num_tasks)]
-        global _ACTIVE_PHASE
-        _ACTIVE_PHASE = phase
-        try:
+    def _chunksize(self, num_tasks: int) -> int:
+        return max(1, num_tasks // (CHUNKS_PER_WORKER * self.workers))
+
+    def _ensure_pool(self, state: _JobState) -> ProcessPoolExecutor:
+        """The job's pool, forked on first use with ``state`` inheritable."""
+        if self._pool is None:
+            global _ACTIVE_JOB
+            _ACTIVE_JOB = state
             context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, num_tasks), mp_context=context
-            ) as pool:
-                # pool.map preserves submission order: payloads come back in
-                # task-id order no matter which worker finished first.
-                return list(pool.map(_run_phase_task, range(num_tasks)))
-        finally:
-            _ACTIVE_PHASE = None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+            self._count("pool_forks", 1)
+        return self._pool
+
+    def _decode(self, blob: bytes, raw_size: int, decode):
+        self._count("ipc_payload_bytes", len(blob))
+        self._count("ipc_bytes", len(blob))
+        if raw_size:
+            self._count("ipc_payload_raw_bytes", raw_size)
+        return decode(blob)
 
 
 #: Recognised backend names for :func:`make_executor` / the CLI.
 BACKENDS = ("serial", "process")
 
 
-def make_executor(backend: str = "serial", workers: Optional[int] = None) -> Executor:
-    """Build an executor from a CLI-style backend name."""
+def make_executor(
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    *,
+    profile_wire: bool = False,
+) -> Executor:
+    """Build an executor from a CLI-style backend name.
+
+    ``profile_wire`` (process backend only) additionally measures the
+    plain-pickle baseline size of every payload for perf reporting.
+    """
     if backend == "serial":
         return SerialExecutor()
     if backend == "process":
-        return ParallelExecutor(workers)
+        return ParallelExecutor(workers, profile_wire=profile_wire)
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
 
 
 __all__ = [
     "MapTaskPayload",
     "ReduceTaskPayload",
+    "StatDeltas",
+    "register_task_stat_source",
     "compute_map_task",
     "compute_reduce_task",
     "group_by_key",
@@ -377,6 +654,8 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "DEFAULT_SERIAL_FLOOR",
+    "CHUNKS_PER_WORKER",
     "BACKENDS",
     "make_executor",
 ]

@@ -12,6 +12,7 @@ from .export import (
     CHROME_PHASES,
     TS_SCALE,
     chrome_trace_events,
+    format_perf_report,
     format_trace_summary,
     trace_records,
     validate_chrome_trace,
@@ -36,4 +37,5 @@ __all__ = [
     "trace_records",
     "write_trace_jsonl",
     "format_trace_summary",
+    "format_perf_report",
 ]

@@ -287,6 +287,85 @@ def format_trace_summary(tracer: Tracer, *, width: int = 48) -> str:
     return "\n".join(lines) if lines else "(empty trace)"
 
 
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}M"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}K"
+    return str(n)
+
+
+def format_perf_report(metrics: "MetricsRegistry") -> str:
+    """Runtime cost breakdown of the parallel backend, one row per phase.
+
+    Renders the ``driver.*`` counters the executor drains into each phase
+    snapshot (see ``Cluster._snapshot_phase``): task placement (fanned out
+    vs kept inline under the serial floor), dispatch chunks, wire bytes
+    crossing the worker boundary with the plain-pickle baseline they
+    replace, and wall-clock seconds per phase.  Footer lines aggregate pool
+    forks, the overall wire compression ratio, and matcher-cache traffic.
+    """
+    rows = []
+    for snap in metrics.snapshots:
+        extra = dict(snap.extra)
+        if "wall_seconds" not in extra:
+            continue
+        counters = dict(snap.counters)
+        rows.append((snap.scope, extra, counters))
+    if not rows:
+        return "(no phase snapshots; attach a MetricsRegistry and re-run)"
+
+    lines: List[str] = []
+    scope_width = max(len(scope) for scope, _, _ in rows)
+    scope_width = max(scope_width, len("phase"))
+    header = (
+        f"{'phase':<{scope_width}}  {'backend':<8} {'tasks':>5} "
+        f"{'wall s':>8} {'fanned':>6} {'inline':>6} {'chunks':>6} "
+        f"{'wire':>8} {'raw':>8} {'ratio':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    total_wire = total_raw = 0
+    for scope, extra, counters in rows:
+        wire = counters.get("driver.ipc_payload_bytes", 0)
+        raw = counters.get("driver.ipc_payload_raw_bytes", 0)
+        total_wire += wire
+        total_raw += raw
+        ratio = f"{raw / wire:5.1f}x" if wire else "     -"
+        lines.append(
+            f"{scope:<{scope_width}}  {str(extra.get('backend', '?')):<8} "
+            f"{extra.get('tasks', 0):>5} "
+            f"{extra.get('wall_seconds', 0.0):>8.3f} "
+            f"{counters.get('driver.tasks_fanned', 0):>6} "
+            f"{counters.get('driver.tasks_inline', 0):>6} "
+            f"{counters.get('driver.chunks', 0):>6} "
+            f"{_fmt_bytes(wire):>8} {_fmt_bytes(raw):>8} {ratio:>6}"
+        )
+
+    forks = sum(c.get("driver.pool_forks", 0) for _, _, c in rows)
+    # Matcher deltas accumulate across a job's phases, so per job only the
+    # last phase snapshot counts; sum those across jobs.
+    per_job: Dict[str, Tuple[int, int]] = {}
+    for scope, _, c in rows:
+        per_job[scope.rsplit("/", 1)[0]] = (
+            c.get("matcher.cache_hits", 0),
+            c.get("matcher.cache_misses", 0),
+        )
+    hits = sum(h for h, _ in per_job.values())
+    misses = sum(m for _, m in per_job.values())
+    lines.append("-" * len(header))
+    lines.append(f"pool forks: {forks}")
+    if total_wire:
+        lines.append(
+            f"payload wire bytes: {_fmt_bytes(total_wire)} "
+            f"(plain pickle {_fmt_bytes(total_raw)}, "
+            f"{total_raw / total_wire:.1f}x smaller)"
+        )
+    if hits or misses:
+        lines.append(f"matcher cache: {hits} hits / {misses} misses")
+    return "\n".join(lines)
+
+
 __all__ = [
     "TS_SCALE",
     "CHROME_PHASES",
@@ -296,4 +375,5 @@ __all__ = [
     "trace_records",
     "write_trace_jsonl",
     "format_trace_summary",
+    "format_perf_report",
 ]

@@ -1,6 +1,12 @@
 """Similarity kernels and the weighted-sum resolve/match function."""
 
-from .edit_distance import edit_similarity, edit_similarity_at_least, levenshtein
+from .edit_distance import (
+    dp_cell_counters,
+    edit_similarity,
+    edit_similarity_at_least,
+    levenshtein,
+    reset_dp_cell_counters,
+)
 from .jaro import jaro, jaro_winkler
 from .matchers import (
     AttributeRule,
@@ -31,4 +37,6 @@ __all__ = [
     "qgram_jaccard",
     "similarity_cache_counters",
     "clear_similarity_cache",
+    "dp_cell_counters",
+    "reset_dp_cell_counters",
 ]

@@ -21,6 +21,24 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+#: Cumulative DP work per kernel, in cell (or column) visits.  Cheap to
+#: maintain — one addition per row, never per cell — and the perf-smoke
+#: bench uses it to prove threshold propagation actually shrinks the
+#: quadratic work.  Wall-clock bookkeeping only: nothing in the package
+#: ever branches on these values.
+_DP_CELLS: Dict[str, int] = {"full": 0, "banded": 0, "myers": 0}
+
+
+def dp_cell_counters() -> Dict[str, int]:
+    """Snapshot of cumulative DP cell visits per kernel (this process)."""
+    return dict(_DP_CELLS)
+
+
+def reset_dp_cell_counters() -> None:
+    """Zero the DP cell-visit counters (benchmark hygiene)."""
+    for key in _DP_CELLS:
+        _DP_CELLS[key] = 0
+
 
 def levenshtein(a: str, b: str, *, max_distance: Optional[int] = None) -> int:
     """Levenshtein distance between ``a`` and ``b``.
@@ -51,6 +69,12 @@ def levenshtein(a: str, b: str, *, max_distance: Optional[int] = None) -> int:
 
     if max_distance is None:
         return _myers_dp(a, b)
+    if 2 * max_distance + 1 >= len(a):
+        # The band would cover (nearly) whole rows: the scalar banded DP
+        # has no cells left to skip, while the bit-parallel kernel does the
+        # same rows in word-sized chunks.  Results are identical — Myers is
+        # exact and _bounded applies the caller's clamp convention.
+        return _bounded(_myers_dp(a, b), max_distance)
     return _banded_dp(a, b, max_distance)
 
 
@@ -63,6 +87,7 @@ def _bounded(distance: int, max_distance: Optional[int]) -> int:
 
 def _full_dp(a: str, b: str) -> int:
     """Classic two-row DP, no bound."""
+    _DP_CELLS["full"] += len(a) * len(b)
     previous = list(range(len(a) + 1))
     current = [0] * (len(a) + 1)
     for j, cb in enumerate(b, start=1):
@@ -88,6 +113,7 @@ def _myers_dp(a: str, b: str) -> int:
     """
     if len(a) > len(b):
         a, b = b, a
+    _DP_CELLS["myers"] += len(b)
     m = len(a)
     peq: Dict[str, int] = {}
     for i, ch in enumerate(a):
@@ -114,13 +140,25 @@ def _myers_dp(a: str, b: str) -> int:
 
 
 def _banded_dp(a: str, b: str, bound: int) -> int:
-    """Two-row DP restricted to a diagonal band of half-width ``bound``."""
+    """Two-row DP restricted to a diagonal band of half-width ``bound``.
+
+    Only band cells are ever touched: row ``j`` writes ``[lo-1, hi]`` and
+    row ``j+1`` reads ``previous`` on ``[lo'-1, hi']`` with ``lo' >= lo``
+    and ``hi' <= hi+1``, so the single cell ``hi+1`` is the only one that
+    can leak a stale value across the swap — it is pinned to ``big``
+    explicitly instead of wiping the whole row (which would cost
+    ``O(len(a))`` per row regardless of band width).  The scratch row needs
+    no reset at all: every cell the inner loop reads from ``current`` was
+    written earlier in the same row.
+    """
     big = bound + 1
     previous = [i if i <= bound else big for i in range(len(a) + 1)]
     current = [big] * (len(a) + 1)
+    cells = 0
     for j, cb in enumerate(b, start=1):
         lo = max(1, j - bound)
         hi = min(len(a), j + bound)
+        cells += hi - lo + 1
         current[lo - 1] = j if (j <= bound and lo == 1) else big
         row_min = current[lo - 1]
         for i in range(lo, hi + 1):
@@ -135,10 +173,12 @@ def _banded_dp(a: str, b: str, bound: int) -> int:
             if current[i] < row_min:
                 row_min = current[i]
         if row_min > bound:
+            _DP_CELLS["banded"] += cells
             return big
+        if hi < len(a):
+            current[hi + 1] = big
         previous, current = current, previous
-        for i in range(len(current)):
-            current[i] = big
+    _DP_CELLS["banded"] += cells
     return previous[len(a)] if previous[len(a)] <= bound else big
 
 
@@ -164,4 +204,10 @@ def edit_similarity_at_least(a: str, b: str, threshold: float) -> bool:
     return levenshtein(a, b, max_distance=allowed) <= allowed
 
 
-__all__ = ["levenshtein", "edit_similarity", "edit_similarity_at_least"]
+__all__ = [
+    "levenshtein",
+    "edit_similarity",
+    "edit_similarity_at_least",
+    "dp_cell_counters",
+    "reset_dp_cell_counters",
+]

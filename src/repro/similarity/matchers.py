@@ -12,12 +12,12 @@ and a cost hook so the simulator can charge longer comparisons more.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..data.entity import Entity
 from ..mapreduce.counters import Counters
-from .edit_distance import edit_similarity
+from ..mapreduce.executors import register_task_stat_source
+from .edit_distance import edit_similarity, levenshtein
 from .jaro import jaro_winkler
 from .tokens import qgram_jaccard, token_jaccard
 
@@ -46,7 +46,23 @@ _COMPARATOR_FUNCTIONS = {
 }
 
 
-@lru_cache(maxsize=1 << 20)
+#: Comparison memo: ``(comparator, v1, v2) -> similarity``.  A plain dict
+#: (not ``lru_cache``) so the threshold-propagating edit path can consult
+#: and populate the same memo as the exact path, and so hit/miss counts
+#: can be snapshotted cheaply by the per-task stat hook.
+_MEMO: Dict[Tuple[str, str, str], float] = {}
+
+#: Entry cap; the memo is dropped wholesale when it fills (values recur so
+#: heavily in blocked ER data that eviction policy barely matters).
+_MEMO_MAX = 1 << 20
+
+_MEMO_STATS = {"hits": 0, "misses": 0}
+
+#: Sentinel returned by :func:`_memo_edit_at_least` when the similarity is
+#: provably below the requested floor (the exact value was never computed).
+_BELOW_FLOOR = -1.0
+
+
 def _memo_compare(comparator: str, v1: str, v2: str) -> float:
     """Memoized attribute-value comparison.
 
@@ -59,23 +75,86 @@ def _memo_compare(comparator: str, v1: str, v2: str) -> float:
     identically.  Process-backend workers each hold their own copy (forked
     warm, then diverging), which likewise cannot affect virtual time.
     """
-    return _COMPARATOR_FUNCTIONS[comparator](v1, v2)
+    key = (comparator, v1, v2)
+    cached = _MEMO.get(key)
+    if cached is not None:
+        _MEMO_STATS["hits"] += 1
+        return cached
+    _MEMO_STATS["misses"] += 1
+    value = _COMPARATOR_FUNCTIONS[comparator](v1, v2)
+    if len(_MEMO) >= _MEMO_MAX:
+        _MEMO.clear()
+    _MEMO[key] = value
+    return value
+
+
+def _memo_edit_at_least(v1: str, v2: str, floor: float) -> float:
+    """Edit similarity when it can still matter, else :data:`_BELOW_FLOOR`.
+
+    ``floor`` is the minimum similarity that could still influence the
+    match decision (see :meth:`WeightedMatcher._rule_floor`).  The floor is
+    converted into an edit-distance bound for the banded kernel:
+    ``allowed = int((1 - floor) * longest)`` truncates, so any distance
+    ``d > allowed`` satisfies ``d >= allowed + 1 > (1 - floor) * longest``
+    and therefore ``1 - d/longest < floor`` *strictly* — the sentinel is
+    only ever returned for similarities genuinely below the floor.
+
+    Exact results are cached under the same key the unbounded path uses
+    (``1 - d/longest`` is the identical float expression
+    :func:`edit_similarity` evaluates); below-floor probes are *not*
+    cached, because the sentinel is relative to this call's floor.
+    """
+    key = ("edit", v1, v2)
+    cached = _MEMO.get(key)
+    if cached is not None:
+        _MEMO_STATS["hits"] += 1
+        return cached
+    _MEMO_STATS["misses"] += 1
+    longest = max(len(v1), len(v2))
+    allowed = int((1.0 - floor) * longest)
+    distance = levenshtein(v1, v2, max_distance=allowed)
+    if distance > allowed:
+        return _BELOW_FLOOR
+    value = 1.0 - distance / longest
+    if len(_MEMO) >= _MEMO_MAX:
+        _MEMO.clear()
+    _MEMO[key] = value
+    return value
 
 
 def similarity_cache_counters() -> Counters:
     """Cache-hit statistics as Hadoop-style counters (this process only),
     under the ``matcher.*`` namespace."""
-    info = _memo_compare.cache_info()
     counters = Counters()
-    counters.increment("matcher", "cache_hits", info.hits)
-    counters.increment("matcher", "cache_misses", info.misses)
-    counters.increment("matcher", "cache_entries", info.currsize)
+    counters.increment("matcher", "cache_hits", _MEMO_STATS["hits"])
+    counters.increment("matcher", "cache_misses", _MEMO_STATS["misses"])
+    counters.increment("matcher", "cache_entries", len(_MEMO))
     return counters
 
 
 def clear_similarity_cache() -> None:
     """Drop the process-wide comparison memo (benchmark hygiene)."""
-    _memo_compare.cache_clear()
+    _MEMO.clear()
+    _MEMO_STATS["hits"] = 0
+    _MEMO_STATS["misses"] = 0
+
+
+def _matcher_stat_source() -> Dict[str, int]:
+    """Monotone cache statistics for per-task payload deltas.
+
+    Registered with the executor layer so process-backend workers ship the
+    hits/misses their task generated back to the driver, keeping serial
+    and parallel ``matcher.*`` metrics comparable.  ``cache_entries`` is
+    deliberately excluded: it is a level, not a counter, and deltas of it
+    would go negative on memo resets.
+    """
+    return {
+        "cache_hits": _MEMO_STATS["hits"],
+        "cache_misses": _MEMO_STATS["misses"],
+    }
+
+
+register_task_stat_source("matcher", _matcher_stat_source)
 
 
 @dataclass(frozen=True)
@@ -214,6 +293,13 @@ class WeightedMatcher:
         no cutoff fires, the final sum is re-accumulated in the *original*
         rule order so the decision is bit-for-bit the one
         :meth:`similarity` would make.
+
+        Edit-distance rules additionally propagate the running bound *into*
+        the kernel: :meth:`_rule_floor` derives the minimum similarity this
+        rule must reach for the pair to stay alive, and the banded DP is
+        called with the matching distance bound so it can abandon rows the
+        moment the pair is dead — without changing any decision (a
+        below-floor result implies the post-rule cutoff would have fired).
         """
         sims: List[Optional[float]] = [None] * len(self.rules)
         total = 0.0
@@ -221,9 +307,31 @@ class WeightedMatcher:
         remaining = self._total_weight
         for index in self._eval_order:
             rule = self.rules[index]
-            sim = rule.similarity(e1, e2)
+            remaining_after = remaining - rule.weight
+            if rule.comparator == "edit":
+                v1, v2 = rule.values(e1, e2)
+                if not v1 and not v2:
+                    sim: Optional[float] = None
+                elif not v1 or not v2:
+                    sim = 0.0
+                else:
+                    floor = self._rule_floor(
+                        rule.weight, total, total_weight, remaining_after
+                    )
+                    if floor > 1.0:
+                        # Even a perfect score on this rule leaves the pair
+                        # below the cutoff bound: no kernel call needed.
+                        return False
+                    if floor > 0.0:
+                        sim = _memo_edit_at_least(v1, v2, floor)
+                        if sim == _BELOW_FLOOR:
+                            return False
+                    else:
+                        sim = _memo_compare("edit", v1, v2)
+            else:
+                sim = rule.similarity(e1, e2)
             sims[index] = sim
-            remaining -= rule.weight
+            remaining = remaining_after
             if sim is not None:
                 total += rule.weight * sim
                 total_weight += rule.weight
@@ -245,6 +353,33 @@ class WeightedMatcher:
             exact_total += rule.weight * sim
             exact_weight += rule.weight
         return exact_total / exact_weight >= self.threshold
+
+    def _rule_floor(
+        self,
+        weight: float,
+        total: float,
+        total_weight: float,
+        remaining_after: float,
+    ) -> float:
+        """Minimum similarity this rule must score to keep the pair alive.
+
+        Derived by solving the post-rule cutoff inequality for this rule's
+        similarity ``s``: the cutoff fires when
+        ``(total + weight*s + remaining_after) / bound_weight <
+        threshold - 1e-9`` (every later rule assumed perfect).  Any ``s``
+        below the returned floor therefore guarantees the existing cutoff —
+        or, for the final rule, the exact threshold check — rejects the
+        pair.  An extra ``1e-7`` is subtracted so float noise in computing
+        the floor itself can never disqualify a pair the exact-order sum
+        would accept: propagation may only skip work, never flip decisions.
+        """
+        bound_weight = total_weight + weight + remaining_after
+        if bound_weight <= 0.0:
+            return 0.0
+        floor = (
+            (self.threshold - 1e-9) * bound_weight - total - remaining_after
+        ) / weight
+        return floor - 1e-7
 
     def comparison_cost_factor(self, e1: Entity, e2: Entity) -> float:
         """Relative cost of resolving this pair (1.0 = reference length).

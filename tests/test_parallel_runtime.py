@@ -1,0 +1,272 @@
+"""The parallel runtime's plumbing: slim wire format, per-job pools,
+chunked dispatch, the adaptive serial floor, and worker stat deltas.
+
+Cross-backend *result* parity lives in ``test_executor_parity.py``; these
+tests pin the mechanisms that make the process backend affordable — the
+payload encoding must be lossless and compact, a job must fork at most one
+pool, small phases must stay in-process, and worker-side matcher-cache
+statistics must ride home in the payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import citeseer_config
+from repro.evaluation import ExperimentRun, RunSpec
+from repro.mapreduce import (
+    Cluster,
+    Counters,
+    MapReduceJob,
+    Mapper,
+    ParallelExecutor,
+    Reducer,
+    SerialExecutor,
+    make_executor,
+)
+from repro.mapreduce import wire
+from repro.mapreduce.executors import MapTaskPayload, ReduceTaskPayload
+from repro.mapreduce.types import Event, OutputFile, SpanFragment
+from repro.observability import MetricsRegistry, format_perf_report
+
+from test_executor_parity import job_fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+def _sample_map_payload() -> MapTaskPayload:
+    counters = Counters()
+    counters.increment("engine", "map_records", 7)
+    return MapTaskPayload(
+        task_id=3,
+        cost=12.5,
+        events=[Event(time=1.0, kind="emit", payload={"key": "a", "n": 1})],
+        emitted=[("alpha", 1), ("beta", 2)],
+        counters=counters,
+        num_records=7,
+        combine_input=4,
+        combine_output=2,
+        spans=[SpanFragment(name="map[3]", category="task", start=0.0, end=12.5, args=(("phase", "map"),))],
+        stat_deltas=(("matcher", "cache_misses", 5),),
+    )
+
+
+def _sample_reduce_payload() -> ReduceTaskPayload:
+    counters = Counters()
+    counters.increment("engine", "reduce_groups", 2)
+    return ReduceTaskPayload(
+        task_id=1,
+        cost=9.25,
+        events=[Event(time=0.5, kind="group", payload="alpha")],
+        written=[("alpha", 3), ("beta", 2)],
+        files=[OutputFile(task_id=1, index=0, close_time=9.25, records=(("alpha", 3),))],
+        counters=counters,
+        num_groups=2,
+        num_records=5,
+        spans=[],
+        stat_deltas=(("matcher", "cache_hits", 2),),
+    )
+
+
+def _payload_fields(payload) -> tuple:
+    return (
+        payload.task_id,
+        payload.cost,
+        [(e.time, e.kind, repr(e.payload)) for e in payload.events],
+        payload.counters.as_dict(),
+        payload.num_records,
+        payload.spans,
+        payload.stat_deltas,
+    )
+
+
+class TestWireFormat:
+    def test_map_payload_round_trip(self):
+        payload = _sample_map_payload()
+        decoded = wire.decode_map_payload(wire.encode_map_payload(payload))
+        assert _payload_fields(decoded) == _payload_fields(payload)
+        assert decoded.emitted == payload.emitted
+        assert decoded.combine_input == payload.combine_input
+        assert decoded.combine_output == payload.combine_output
+
+    def test_reduce_payload_round_trip(self):
+        payload = _sample_reduce_payload()
+        decoded = wire.decode_reduce_payload(wire.encode_reduce_payload(payload))
+        assert _payload_fields(decoded) == _payload_fields(payload)
+        assert decoded.written == payload.written
+        assert decoded.files == payload.files
+        assert decoded.num_groups == payload.num_groups
+
+    def test_records_round_trip(self):
+        records = [("key-%d" % i, {"attr": "value %d" % i}) for i in range(50)]
+        assert wire.decode_records(wire.encode_records(records)) == records
+
+    def test_small_blobs_skip_compression(self):
+        blob = wire.encode_records([("k", 1)])
+        assert blob[:1] == b"\x00"
+
+    def test_redundant_payloads_compress(self):
+        # ER payloads repeat attribute text constantly; zlib must engage
+        # above the threshold and beat the plain pickle by a wide margin.
+        records = [("the same blocking key", "the same attribute value")] * 500
+        blob = wire.encode_records(records)
+        raw = len(pickle.dumps(tuple(records)))
+        assert blob[:1] == b"\x01"
+        assert len(blob) * 3 < raw
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ValueError):
+            wire.decode_records(b"\x7fgarbage")
+
+    def test_raw_pickle_size_is_plain_pickle(self):
+        payload = _sample_map_payload()
+        assert wire.raw_pickle_size(payload) == len(pickle.dumps(payload))
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle / chunking / serial floor
+# ---------------------------------------------------------------------------
+
+
+class _WordMapper(Mapper):
+    def map(self, record, context):
+        for word in record.split():
+            context.emit(word, 1)
+
+
+class _SumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.charge(0.5 * len(values))
+        context.write((key, sum(values)))
+
+
+_LINES = ["alpha beta gamma delta"] * 64
+
+
+def _job():
+    return MapReduceJob(_WordMapper, _SumReducer, alpha=1.0)
+
+
+class TestPoolLifecycle:
+    def test_forced_fan_out_matches_serial(self):
+        serial = Cluster(3).run_job(_job(), _LINES)
+        executor = ParallelExecutor(2, serial_floor=0.0, profile_wire=True)
+        parallel = Cluster(3, executor=executor).run_job(_job(), _LINES)
+        assert job_fingerprint(serial) == job_fingerprint(parallel)
+        assert executor.stats["pool_forks"] == 1
+        assert executor.stats["tasks_fanned"] > 0
+        assert executor.stats.get("tasks_inline", 0) == 0
+        assert executor.stats["ipc_payload_bytes"] > 0
+        assert executor.stats["ipc_input_bytes"] > 0
+
+    def test_one_fork_per_job_not_per_phase(self):
+        executor = ParallelExecutor(2, serial_floor=0.0)
+        cluster = Cluster(3, executor=executor)
+        jobs = 3
+        for _ in range(jobs):
+            cluster.run_job(_job(), _LINES)
+        assert executor.stats["pool_forks"] == jobs
+
+    def test_serial_floor_keeps_small_phases_inline(self):
+        executor = ParallelExecutor(2, serial_floor=1e9)
+        serial = Cluster(3).run_job(_job(), _LINES)
+        inline = Cluster(3, executor=executor).run_job(_job(), _LINES)
+        assert job_fingerprint(serial) == job_fingerprint(inline)
+        assert executor.stats.get("pool_forks", 0) == 0
+        assert executor.stats.get("tasks_fanned", 0) == 0
+        assert executor.stats["tasks_inline"] > 0
+
+    def test_below_floor_job_never_forks(self):
+        # The pool is lazy: a job whose phases all stay inline must not
+        # pay for a fork at begin_job.
+        executor = ParallelExecutor(2, serial_floor=1e9)
+        Cluster(2, executor=executor).run_job(_job(), _LINES[:4])
+        assert executor.stats.get("pool_forks", 0) == 0
+
+    def test_chunked_dispatch_batches_tasks(self):
+        executor = ParallelExecutor(2, serial_floor=0.0)
+        Cluster(8, executor=executor).run_job(_job(), _LINES)
+        chunksize = executor._chunksize(8)
+        assert chunksize == max(1, 8 // (4 * 2))
+        # Two fanned phases of 8 tasks each -> ceil(8/chunksize) chunks per
+        # phase; chunking must never exceed one message per task.
+        assert 0 < executor.stats["chunks"] <= executor.stats["tasks_fanned"]
+
+    def test_drain_stats_resets_phase_window(self):
+        executor = ParallelExecutor(2, serial_floor=0.0)
+        Cluster(3, executor=executor).run_job(_job(), _LINES)
+        executor.drain_stats()  # engine already drained per phase
+        assert executor.drain_stats() == {}
+        # Cumulative view survives draining.
+        assert executor.stats["pool_forks"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Driver metrics + worker stat deltas
+# ---------------------------------------------------------------------------
+
+
+class TestDriverMetrics:
+    @pytest.mark.parametrize("executor_factory", [
+        SerialExecutor,
+        lambda: ParallelExecutor(2, serial_floor=0.0, profile_wire=True),
+    ])
+    def test_matcher_deltas_reach_phase_snapshots(
+        self, citeseer_small, executor_factory
+    ):
+        # Both backends must report comparable matcher traffic: worker
+        # processes ship their cache deltas home inside the payloads.  A
+        # fresh (uncached) matcher per run keeps the comparisons from being
+        # absorbed by a pair cache warmed in an earlier parametrization.
+        metrics = MetricsRegistry()
+        ExperimentRun(
+            RunSpec(
+                citeseer_small, citeseer_config(), machines=4,
+                executor=executor_factory(), metrics=metrics,
+            )
+        ).run()
+        resolution = [
+            s for s in metrics.snapshots
+            if s.scope.endswith("resolution/reduce")
+        ]
+        assert resolution
+        assert resolution[-1].get("matcher.cache_misses") > 0
+
+    def test_phase_snapshots_carry_driver_counters_and_wall(self):
+        metrics = MetricsRegistry()
+        executor = ParallelExecutor(2, serial_floor=0.0, profile_wire=True)
+        cluster = Cluster(3, executor=executor, metrics=metrics)
+        cluster.run_job(_job(), _LINES)
+        by_scope = {s.scope: s for s in metrics.snapshots}
+        map_snap = by_scope["job/map"]
+        reduce_snap = by_scope["job/reduce"]
+        assert map_snap.get("driver.tasks_fanned") > 0
+        assert map_snap.get("driver.pool_forks") == 1
+        assert reduce_snap.get("driver.ipc_payload_bytes") > 0
+        assert reduce_snap.get("driver.ipc_payload_raw_bytes") > 0
+        for snap in (map_snap, reduce_snap):
+            extra = dict(snap.extra)
+            assert extra["backend"] == "process"
+            assert extra["wall_seconds"] >= 0.0
+
+    def test_perf_report_renders_phase_table(self):
+        metrics = MetricsRegistry()
+        executor = ParallelExecutor(2, serial_floor=0.0, profile_wire=True)
+        Cluster(3, executor=executor, metrics=metrics).run_job(_job(), _LINES)
+        report = format_perf_report(metrics)
+        assert "pool forks: 1" in report
+        assert "job/map" in report
+        assert "payload wire bytes" in report
+
+    def test_perf_report_without_snapshots(self):
+        assert "no phase snapshots" in format_perf_report(MetricsRegistry())
+
+    def test_make_executor_profile_wire(self):
+        executor = make_executor("process", 2, profile_wire=True)
+        assert executor.profile_wire is True
+        assert make_executor("process", 2).profile_wire is False
