@@ -18,6 +18,8 @@ from repro.blocking import BlockingScheme, prefix_function
 from repro.core import citeseer_config
 from repro.evaluation import ExperimentRun, RunSpec, format_table
 
+pytestmark = pytest.mark.bench
+
 MACHINES = 10
 
 #: (family, attribute, prefix lengths by depth) following Table II.

@@ -20,6 +20,8 @@ import pytest
 from repro.core import citeseer_config
 from repro.evaluation import ExperimentRun, RunSpec, format_table
 
+pytestmark = pytest.mark.bench
+
 MACHINES = 10
 
 

@@ -17,6 +17,8 @@ from repro.core import ProgressiveER, citeseer_config
 from repro.mapreduce import Cluster
 from repro.evaluation import format_table
 
+pytestmark = pytest.mark.bench
+
 MACHINES = 10
 
 

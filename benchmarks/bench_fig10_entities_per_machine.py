@@ -25,6 +25,8 @@ from repro.evaluation import (
 )
 from repro.mechanisms import PSNM
 
+pytestmark = pytest.mark.bench
+
 MACHINE_COUNTS = [12, 6, 3]  # decreasing machines = increasing θ
 THRESHOLDS = [0.0005, 0.005, 0.05]
 

@@ -17,6 +17,8 @@ import pytest
 from repro.core import books_config
 from repro.evaluation import ExperimentRun, RunSpec, format_table, recall_speedup
 
+pytestmark = pytest.mark.bench
+
 MACHINE_COUNTS = [5, 10, 15, 20, 25]
 RECALL_LEVELS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
 

@@ -27,6 +27,8 @@ from repro.evaluation import (
 )
 from repro.mechanisms import SortedNeighborHint
 
+pytestmark = pytest.mark.bench
+
 MACHINES = 10
 
 SUBFIGURES = {

@@ -18,6 +18,8 @@ import pytest
 from repro.core import citeseer_config
 from repro.evaluation import ExperimentRun, RunSpec, format_curves, sample_times
 
+pytestmark = pytest.mark.bench
+
 MACHINE_COUNTS = [10, 15, 20]
 
 

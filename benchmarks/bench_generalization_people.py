@@ -27,6 +27,8 @@ from repro.evaluation import (
 from repro.mechanisms import PSNM
 from repro.similarity.matchers import people_matcher
 
+pytestmark = pytest.mark.bench
+
 MACHINES = 10
 SCALE = 2500
 

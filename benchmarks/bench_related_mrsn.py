@@ -30,6 +30,8 @@ from repro.evaluation import (
 )
 from repro.mapreduce import Cluster
 
+pytestmark = pytest.mark.bench
+
 MACHINES = 10
 
 

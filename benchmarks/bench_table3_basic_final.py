@@ -16,6 +16,8 @@ from repro.blocking import citeseer_scheme
 from repro.evaluation import ExperimentRun, RunSpec, format_table
 from repro.mechanisms import SortedNeighborHint
 
+pytestmark = pytest.mark.bench
+
 MACHINES = 10
 THRESHOLDS = [0.1, 0.07, 0.04, 0.01, 0.007, 0.004, 0.001, 0.00001, None]
 

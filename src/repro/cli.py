@@ -25,8 +25,15 @@ from typing import List, Optional, Sequence
 
 from .baselines import BasicConfig
 from .blocking import books_scheme, citeseer_scheme, people_scheme
-from .core import books_config, citeseer_config, people_config
-from .data import Dataset, make_books, make_citeseer, make_people
+from .core import (
+    BALANCE_STRATEGIES,
+    books_config,
+    citeseer_config,
+    format_balance_summary,
+    people_config,
+    skewed_config,
+)
+from .data import Dataset, make_books, make_citeseer, make_people, make_skewed
 from .data.profile import format_profile, profile_dataset, suggest_blocking_order
 from .evaluation import (
     ExperimentRun,
@@ -49,7 +56,7 @@ from .observability import (
     write_trace_jsonl,
 )
 
-_FAMILIES = ("citeseer", "books", "people")
+_FAMILIES = ("citeseer", "books", "people", "skewed")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -127,6 +134,15 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker processes for --backend process (default: CPU count)",
+    )
+    parser.add_argument(
+        "--balance",
+        choices=BALANCE_STRATEGIES,
+        default="slack",
+        help="load-balancing post-pass over the progressive schedule: "
+        "`slack` (paper baseline), `blocksplit` (shard oversized root "
+        "blocks into pair ranges), `pairrange` (contiguous cost ranges); "
+        "resolved output is identical across strategies",
     )
 
 
@@ -242,9 +258,24 @@ def _write_observations(args: argparse.Namespace, tracer, metrics) -> None:
         print(format_perf_report(metrics))
 
 
-_MAKERS = {"citeseer": make_citeseer, "books": make_books, "people": make_people}
-_CONFIGS = {"citeseer": citeseer_config, "books": books_config, "people": people_config}
-_SCHEMES = {"citeseer": citeseer_scheme, "books": books_scheme, "people": people_scheme}
+_MAKERS = {
+    "citeseer": make_citeseer,
+    "books": make_books,
+    "people": make_people,
+    "skewed": make_skewed,
+}
+_CONFIGS = {
+    "citeseer": citeseer_config,
+    "books": books_config,
+    "people": people_config,
+    "skewed": skewed_config,
+}
+_SCHEMES = {
+    "citeseer": citeseer_scheme,
+    "books": books_scheme,
+    "people": people_scheme,
+    "skewed": lambda: skewed_config().scheme,
+}
 
 
 def _load_dataset(args: argparse.Namespace) -> Dataset:
@@ -294,6 +325,7 @@ def _run_spec(args: argparse.Namespace, config, **overrides) -> RunSpec:
         dataset=overrides.pop("dataset"),
         config=config,
         machines=args.machines,
+        balance=getattr(args, "balance", "slack"),
         backend=backend,
         workers=getattr(args, "workers", None),
         executor=executor,
@@ -326,6 +358,10 @@ def _command_run(args: argparse.Namespace) -> int:
     if faults:
         print()
         print(faults)
+    plan = getattr(run.result, "balance", None)
+    if plan is not None and (args.balance != "slack" or args.skew):
+        print()
+        print(format_balance_summary(plan))
     _write_observations(args, tracer, metrics)
     return 0
 

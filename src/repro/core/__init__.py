@@ -2,6 +2,16 @@
 cost estimation, schedule generation, redundancy-free resolution, and the
 two-job MapReduce driver."""
 
+from .balance import (
+    BALANCE_STRATEGIES,
+    BalancePlan,
+    BlockShard,
+    SkewReport,
+    apply_balance,
+    format_balance_summary,
+    planned_loads,
+    skew_report,
+)
 from .config import (
     ApproachConfig,
     LevelPolicy,
@@ -11,6 +21,7 @@ from .config import (
     linear_weights,
     make_budget_weighting,
     people_config,
+    skewed_config,
 )
 from .driver import ProgressiveER, ProgressiveResult
 from .estimation import (
@@ -40,11 +51,20 @@ from .statistics import (
 )
 
 __all__ = [
+    "BALANCE_STRATEGIES",
+    "BalancePlan",
+    "BlockShard",
+    "SkewReport",
+    "apply_balance",
+    "format_balance_summary",
+    "planned_loads",
+    "skew_report",
     "ApproachConfig",
     "LevelPolicy",
     "citeseer_config",
     "books_config",
     "people_config",
+    "skewed_config",
     "linear_weights",
     "exponential_weights",
     "make_budget_weighting",

@@ -1,0 +1,466 @@
+"""Skew-aware load balancing for the resolution job.
+
+The schedule generator places responsible trees on reduce tasks by maximum
+weighted slack (Figure 6), but a single oversized block can still dominate
+one task and flatten the progressive curve — the data-skew failure mode
+analyzed by Kolb, Thor & Rahm in *Load Balancing for MapReduce-based Entity
+Resolution* (BlockSplit / PairRange).  This module adds a post-pass over a
+generated :class:`~repro.core.schedule.ProgressiveSchedule`:
+
+* **skew detection** — per-task planned virtual loads from the Job-1
+  estimates, summarized by Gini coefficient and max-over-mean ratio and
+  surfaced as ``balance.*`` counters;
+* **``blocksplit``** — oversized *root* blocks are decomposed into
+  contiguous pair-range shards of their mechanism pair stream, then all
+  work units (whole trees, split-tree remainders, shards) are LPT-placed.
+  Only roots are ever sharded: a root is resolved to stream exhaustion
+  (``full=True``), so its output is independent of where the stream is
+  cut, while a non-root's :class:`~repro.mechanisms.base.DistinctBudget`
+  stop condition depends on stream order and must never be sharded;
+* **``pairrange``** — trees keep their internal structure but are placed
+  by contiguous global cost ranges (canonical uid order), the tree-granular
+  analogue of Kolb's PairRange enumeration;
+* **``slack``** — the paper baseline: the schedule is left untouched and
+  only the skew report is computed.
+
+Everything is derived from the schedule's deterministic estimates — no
+wall-clock input, no randomness beyond :func:`~repro.mapreduce.job.stable_hash`
+tie-breaking — so a balanced schedule is bit-identical across execution
+backends and under fault injection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..mapreduce.job import stable_hash
+from ..mechanisms.base import window_pairs_count
+from .schedule import ProgressiveSchedule, build_block_orders, recompute_sequence
+
+#: Recognised placement strategies (CLI ``--balance`` / ``RunSpec.balance``).
+BALANCE_STRATEGIES = ("slack", "blocksplit", "pairrange")
+
+#: Separator inside shard routing keys; never appears in block uids.
+SHARD_SEP = "\x1f"
+
+#: A tree is considered oversized when its root's estimated cost exceeds
+#: this multiple of the mean per-task load.
+OVERSIZE_FACTOR = 1.0
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class BlockShard:
+    """One contiguous pair-range slice of a root block's pair stream.
+
+    ``start``/``stop`` index positions of the mechanism's *raw* pair
+    stream (before any SHOULD-RESOLVE veto), which is a deterministic
+    enumeration — both SN-hint and PSNM yield pairs in (rank distance,
+    position) order with exactly ``window_pairs_count(n, w)`` entries — so
+    every shard resolves the same pairs no matter which task, backend or
+    faulty timeline executes it.
+
+    Shard 0 stays on the tree's home reduce task (it reuses the tree's
+    normal routing and the home task's per-tree resolved-pair skip);
+    shards 1.. are routed under :attr:`key` to wherever placement put them.
+    """
+
+    key: str
+    block_uid: str
+    tree_uid: str
+    index: int
+    num_shards: int
+    start: int
+    stop: int
+    cost: float
+
+
+@dataclass(frozen=True)
+class SkewReport:
+    """Planned per-task virtual loads and their skew statistics."""
+
+    loads: Tuple[float, ...]
+
+    @property
+    def total(self) -> float:
+        return sum(self.loads)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.loads) if self.loads else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.loads) if self.loads else 0.0
+
+    @property
+    def max_over_mean(self) -> float:
+        """Skew ratio: 1.0 is perfectly balanced."""
+        mean = self.mean
+        return self.max / mean if mean > 0 else 0.0
+
+    @property
+    def gini(self) -> float:
+        """Gini coefficient of the load distribution (0 = equal)."""
+        n = len(self.loads)
+        total = self.total
+        if n == 0 or total <= 0:
+            return 0.0
+        ordered = sorted(self.loads)
+        weighted = sum((2 * i - n + 1) * x for i, x in enumerate(ordered))
+        return weighted / (n * total)
+
+
+@dataclass(frozen=True)
+class BalancePlan:
+    """The outcome of one :func:`apply_balance` pass (observational)."""
+
+    strategy: str
+    num_tasks: int
+    before: SkewReport
+    after: SkewReport
+    shards: Tuple[BlockShard, ...]
+    split_blocks: Tuple[str, ...]
+    moved_trees: int
+    top_blocks: Tuple[Tuple[str, float], ...]
+
+    def counter_items(self) -> Dict[str, int]:
+        """Integer ``balance.*`` counter values (ratios in milli-units).
+
+        Derived purely from the deterministic plan, so they are safe to
+        merge into the backend-identical job counters.
+        """
+        return {
+            "shards": len(self.shards),
+            "split_blocks": len(self.split_blocks),
+            "moved_trees": self.moved_trees,
+            "gini_before_milli": _milli(self.before.gini),
+            "gini_after_milli": _milli(self.after.gini),
+            "max_over_mean_before_milli": _milli(self.before.max_over_mean),
+            "max_over_mean_after_milli": _milli(self.after.max_over_mean),
+            "planned_makespan_before_milli": _milli(self.before.max),
+            "planned_makespan_after_milli": _milli(self.after.max),
+        }
+
+
+def _milli(value: float) -> int:
+    return int(round(value * 1000))
+
+
+def shard_key(block_uid: str, index: int) -> str:
+    """Routing key of one shard (distinct from every tree uid)."""
+    return f"{block_uid}{SHARD_SEP}shard{index}"
+
+
+def shard_bounds(total_pairs: int, num_shards: int) -> List[int]:
+    """Equal-width position boundaries: ``num_shards + 1`` non-decreasing
+    values from 0 to ``total_pairs`` whose consecutive ranges partition
+    ``[0, total_pairs)`` exactly."""
+    if total_pairs < 0:
+        raise ValueError(f"total_pairs must be >= 0, got {total_pairs}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return [total_pairs * i // num_shards for i in range(num_shards + 1)]
+
+
+def planned_loads(schedule: ProgressiveSchedule) -> List[float]:
+    """Per-task planned virtual cost under the schedule's block orders.
+
+    Shard entries contribute their pair-range share; plain block entries
+    contribute the block's estimated cost.
+    """
+    loads = [0.0] * schedule.num_tasks
+    for task, order in enumerate(schedule.block_order):
+        for entry in order:
+            shard = schedule.shards.get(entry)
+            if shard is not None:
+                loads[task] += shard.cost
+            else:
+                loads[task] += schedule.estimates[entry].cost
+    return loads
+
+
+def skew_report(schedule: ProgressiveSchedule) -> SkewReport:
+    """The schedule's current planned-load skew."""
+    return SkewReport(loads=tuple(planned_loads(schedule)))
+
+
+def place_units(
+    units: Sequence[Tuple[str, float]], num_tasks: int
+) -> Dict[str, int]:
+    """LPT placement of ``(key, cost)`` work units over ``num_tasks``.
+
+    Deterministic and order-insensitive: units are processed by
+    non-increasing cost (key tie-break) onto the least-loaded task; load
+    ties rotate by ``stable_hash(key)`` so equal-cost streaks spread over
+    the tasks instead of piling onto task 0.
+    """
+    if num_tasks < 1:
+        raise ValueError(f"need at least one task, got {num_tasks}")
+    loads = [0.0] * num_tasks
+    assignment: Dict[str, int] = {}
+    for key, cost in sorted(units, key=lambda u: (-u[1], u[0])):
+        offset = stable_hash(key) % num_tasks
+        best = min(
+            range(num_tasks),
+            key=lambda t: (loads[t], (t - offset) % num_tasks),
+        )
+        assignment[key] = best
+        loads[best] += cost
+    return assignment
+
+
+def apply_balance(
+    schedule: ProgressiveSchedule, *, strategy: str = "slack"
+) -> BalancePlan:
+    """Rebalance ``schedule`` in place and return the observational plan.
+
+    ``slack`` leaves the schedule byte-identical to the generator's output
+    (only the skew report is computed), so the default path costs nothing
+    and stays pinned by the existing golden fixtures.
+    """
+    if strategy not in BALANCE_STRATEGIES:
+        raise ValueError(
+            f"unknown balance strategy {strategy!r}; "
+            f"expected one of {BALANCE_STRATEGIES}"
+        )
+    before = skew_report(schedule)
+    top = _top_blocks(schedule)
+    shards: Tuple[BlockShard, ...] = ()
+    split_blocks: Tuple[str, ...] = ()
+    moved = 0
+    if strategy == "blocksplit":
+        shards, split_blocks, moved = _apply_blocksplit(schedule)
+    elif strategy == "pairrange":
+        moved = _apply_pairrange(schedule)
+    after = skew_report(schedule)
+    return BalancePlan(
+        strategy=strategy,
+        num_tasks=schedule.num_tasks,
+        before=before,
+        after=after,
+        shards=shards,
+        split_blocks=split_blocks,
+        moved_trees=moved,
+        top_blocks=top,
+    )
+
+
+def _top_blocks(
+    schedule: ProgressiveSchedule, limit: int = 5
+) -> Tuple[Tuple[str, float], ...]:
+    """The heaviest blocks by estimated cost (for reports)."""
+    ranked = sorted(
+        ((uid, schedule.estimates[uid].cost) for uid in schedule.tree_of_block),
+        key=lambda item: (-item[1], item[0]),
+    )
+    return tuple(ranked[:limit])
+
+
+def _subtree_costs(schedule: ProgressiveSchedule) -> Dict[str, float]:
+    """Total estimated cost per tree."""
+    return {
+        uid: sum(schedule.estimates[b.uid].cost for b in root.subtree())
+        for uid, root in schedule.trees.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# pairrange: contiguous global cost ranges at tree granularity
+# ---------------------------------------------------------------------------
+
+
+def _apply_pairrange(schedule: ProgressiveSchedule) -> int:
+    """Reassign trees to tasks by contiguous cost ranges.
+
+    Trees are enumerated in canonical uid order; the cumulative cost axis
+    is cut into ``num_tasks`` equal ranges and each tree lands on the
+    range containing its midpoint.  Helps multi-tree skew (many mid-sized
+    trees stacked on one task); cannot help a single oversized tree —
+    that is ``blocksplit``'s job (see the strategy table in the docs).
+    """
+    costs = _subtree_costs(schedule)
+    order = sorted(schedule.trees)
+    total = sum(costs.values())
+    if total <= 0:
+        return 0
+    moved = 0
+    num_tasks = schedule.num_tasks
+    cumulative = 0.0
+    new_assignment: Dict[str, int] = {}
+    for uid in order:
+        midpoint = cumulative + costs[uid] / 2.0
+        task = min(num_tasks - 1, int(midpoint * num_tasks / total))
+        new_assignment[uid] = task
+        if task != schedule.assignment[uid]:
+            moved += 1
+        cumulative += costs[uid]
+    schedule.assignment = new_assignment
+    schedule.block_order = build_block_orders(
+        schedule.trees, schedule.estimates, new_assignment, num_tasks
+    )
+    recompute_sequence(schedule)
+    return moved
+
+
+# ---------------------------------------------------------------------------
+# blocksplit: shard oversized root blocks, LPT-place all units
+# ---------------------------------------------------------------------------
+
+
+def _apply_blocksplit(
+    schedule: ProgressiveSchedule,
+) -> Tuple[Tuple[BlockShard, ...], Tuple[str, ...], int]:
+    """Shard oversized roots and re-place every work unit with LPT."""
+    num_tasks = schedule.num_tasks
+    tree_costs = _subtree_costs(schedule)
+    total = sum(tree_costs.values())
+    mean_load = total / num_tasks if num_tasks else 0.0
+
+    units: List[Tuple[str, float]] = []
+    all_shards: List[BlockShard] = []
+    shards_of_tree: Dict[str, List[BlockShard]] = {}
+    for uid in sorted(schedule.trees):
+        root = schedule.trees[uid]
+        shards = _shard_root(schedule, uid, mean_load)
+        if shards is None:
+            units.append((uid, tree_costs[uid]))
+            continue
+        shards_of_tree[uid] = shards
+        all_shards.extend(shards)
+        # The home unit keeps the tree's children plus shard 0 of the root
+        # (children memberships are derived from the tree's buffered
+        # entities, so they cannot leave the home task).
+        home_cost = (tree_costs[uid] - schedule.estimates[uid].cost) + shards[0].cost
+        units.append((uid, home_cost))
+        units.extend((shard.key, shard.cost) for shard in shards[1:])
+
+    placement = place_units(units, num_tasks)
+
+    moved = 0
+    new_assignment: Dict[str, int] = {}
+    for uid in schedule.trees:
+        new_assignment[uid] = placement[uid]
+        if placement[uid] != schedule.assignment[uid]:
+            moved += 1
+    for shards in shards_of_tree.values():
+        for shard in shards[1:]:
+            new_assignment[shard.key] = placement[shard.key]
+    schedule.assignment = new_assignment
+    schedule.shards = {shard.key: shard for shard in all_shards}
+
+    orders = build_block_orders(
+        schedule.trees, schedule.estimates,
+        {uid: placement[uid] for uid in schedule.trees}, num_tasks,
+    )
+    for uid, shards in shards_of_tree.items():
+        home = placement[uid]
+        orders[home] = [
+            shards[0].key if entry == uid else entry for entry in orders[home]
+        ]
+    # Remote shards are heavy by construction (each ~ one mean task load),
+    # so they lead their task's order: starting the critical path first
+    # minimizes the task's finish time without touching output sets.
+    extra: Dict[int, List[BlockShard]] = {}
+    for shards in shards_of_tree.values():
+        for shard in shards[1:]:
+            extra.setdefault(placement[shard.key], []).append(shard)
+    for task, shard_list in extra.items():
+        shard_list.sort(key=lambda s: (-s.cost, s.key))
+        orders[task] = [shard.key for shard in shard_list] + orders[task]
+    schedule.block_order = orders
+    recompute_sequence(schedule)
+
+    split = tuple(sorted(shards_of_tree))
+    return tuple(all_shards), split, moved
+
+
+def _shard_root(
+    schedule: ProgressiveSchedule, tree_uid: str, mean_load: float
+) -> Optional[List[BlockShard]]:
+    """Shards for one tree's root block, or ``None`` when it is not worth
+    splitting (root under the oversize threshold, or a trivial stream)."""
+    root = schedule.trees[tree_uid]
+    estimate = schedule.estimates[tree_uid]
+    if mean_load <= 0 or estimate.cost <= mean_load * OVERSIZE_FACTOR + _EPS:
+        return None
+    total_pairs = window_pairs_count(root.size, estimate.window)
+    if total_pairs < 2:
+        return None
+    num_shards = min(
+        schedule.num_tasks,
+        math.ceil(estimate.cost / mean_load),
+        total_pairs,
+    )
+    if num_shards <= 1:
+        return None
+    bounds = shard_bounds(total_pairs, num_shards)
+    # Every shard replays the mechanism's setup (sort / hint) on its copy
+    # of the block, so CostA is charged per shard; the comparison cost
+    # splits proportionally to the pair range.
+    per_pair = max(0.0, estimate.cost - estimate.cost_a) / total_pairs
+    shards: List[BlockShard] = []
+    for index in range(num_shards):
+        start, stop = bounds[index], bounds[index + 1]
+        shards.append(
+            BlockShard(
+                key=shard_key(tree_uid, index),
+                block_uid=tree_uid,
+                tree_uid=tree_uid,
+                index=index,
+                num_shards=num_shards,
+                start=start,
+                stop=stop,
+                cost=estimate.cost_a + per_pair * (stop - start),
+            )
+        )
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def format_balance_summary(plan: BalancePlan) -> str:
+    """A terminal table of the plan: skew before/after, shards, top blocks."""
+    lines = [
+        f"load balance — strategy {plan.strategy!r} over {plan.num_tasks} reduce tasks",
+        f"  {'':14s}{'before':>12s}{'after':>12s}",
+    ]
+    rows = [
+        ("makespan", plan.before.max, plan.after.max),
+        ("mean load", plan.before.mean, plan.after.mean),
+        ("max/mean", plan.before.max_over_mean, plan.after.max_over_mean),
+        ("gini", plan.before.gini, plan.after.gini),
+    ]
+    for name, b, a in rows:
+        lines.append(f"  {name:14s}{b:12.2f}{a:12.2f}")
+    lines.append(
+        f"  split blocks: {len(plan.split_blocks)}  shards: {len(plan.shards)}"
+        f"  moved trees: {plan.moved_trees}"
+    )
+    if plan.top_blocks:
+        lines.append("  heaviest blocks (estimated cost):")
+        for uid, cost in plan.top_blocks:
+            marker = " [split]" if uid in plan.split_blocks else ""
+            lines.append(f"    {uid:24s}{cost:12.2f}{marker}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BALANCE_STRATEGIES",
+    "BlockShard",
+    "SkewReport",
+    "BalancePlan",
+    "apply_balance",
+    "planned_loads",
+    "skew_report",
+    "place_units",
+    "shard_bounds",
+    "shard_key",
+    "format_balance_summary",
+]

@@ -14,7 +14,13 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from ..blocking.blocks import Block
-from ..blocking.functions import BlockingScheme, books_scheme, citeseer_scheme, people_scheme
+from ..blocking.functions import (
+    BlockingScheme,
+    books_scheme,
+    citeseer_scheme,
+    people_scheme,
+    prefix_function,
+)
 from ..mechanisms.base import Mechanism
 from ..mechanisms.psnm import PSNM
 from ..mechanisms.sorted_neighbor import SortedNeighborHint
@@ -205,6 +211,27 @@ def people_config(**overrides) -> ApproachConfig:
     return ApproachConfig(**defaults)
 
 
+def skewed_config(**overrides) -> ApproachConfig:
+    """Adversarial single-family configuration for load-balancing studies.
+
+    One shallow blocking family (a short title prefix with no sub-blocking
+    functions) makes every tree a childless root: the Figure-6 splitter
+    has nothing to split, so a hub blocking key yields a single giant
+    block that dominates whichever reduce task the slack partitioner picks
+    — the workload :mod:`repro.core.balance` is designed to fix.  Pairs
+    with :func:`repro.data.skewed.make_skewed`.
+    """
+    defaults = dict(
+        scheme=BlockingScheme(
+            families={"X": [prefix_function("X", 1, "title", 2)]}
+        ),
+        matcher=citeseer_matcher(),
+        mechanism=PSNM(),
+    )
+    defaults.update(overrides)
+    return ApproachConfig(**defaults)
+
+
 __all__ = [
     "LevelPolicy",
     "ApproachConfig",
@@ -215,4 +242,5 @@ __all__ = [
     "citeseer_config",
     "books_config",
     "people_config",
+    "skewed_config",
 ]

@@ -39,6 +39,7 @@ from .estimation import (
     OracleEstimator,
     UniformEstimator,
 )
+from .balance import BalancePlan, apply_balance
 from .redundancy import build_dominance_list, should_resolve
 from .schedule import ProgressiveSchedule, generate_schedule
 from .statistics import AnnotatedEntity, DatasetStatistics, run_statistics_job
@@ -48,11 +49,24 @@ RoutedEntity = Tuple[Entity, Tuple[int, ...]]
 
 
 class ResolutionMapper(Mapper):
-    """Job-2 mapper: route each entity once per tree containing it."""
+    """Job-2 mapper: route each entity once per tree containing it.
+
+    When a balance pass sharded a tree's root block, every *remote* shard
+    (index >= 1) gets its own copy of the tree's entities under the shard
+    routing key — the BlockSplit replication cost, charged like any other
+    emission.  Shard 0 rides the tree's normal emission.
+    """
 
     def __init__(self, schedule: ProgressiveSchedule, scheme: BlockingScheme) -> None:
         self._schedule = schedule
         self._scheme = scheme
+        routes: Dict[str, List[str]] = {}
+        for shard in schedule.shards.values():
+            if shard.index > 0:
+                routes.setdefault(shard.tree_uid, []).append(shard.key)
+        self._shard_routes: Dict[str, Tuple[str, ...]] = {
+            uid: tuple(sorted(keys)) for uid, keys in routes.items()
+        }
 
     def setup(self, context: TaskContext) -> None:
         """Charge the progressive-schedule generation performed in the map
@@ -94,7 +108,10 @@ class ResolutionMapper(Mapper):
                         schedule.dominance[next_uid] if next_uid is not None else None
                     ),
                 )
-                context.emit(tree_uid, (entity, tuple(dom_list)))
+                value = (entity, tuple(dom_list))
+                context.emit(tree_uid, value)
+                for route in self._shard_routes.get(tree_uid, ()):
+                    context.emit(route, value)
 
     def _tree_chain(self, entity: Entity, family: str, main_key: str) -> List[str]:
         """Trees of ``family`` containing the entity, outermost first:
@@ -146,10 +163,30 @@ class ResolutionReducer(Reducer):
         members = self._derive_memberships(context)
         order = self._schedule.block_order[context.task_id]
         resolved_in_tree: Dict[str, Set[Pair]] = {}
-        for block_uid in order:
-            if block_uid not in members:
+        for entry in order:
+            shard = self._schedule.shards.get(entry)
+            if shard is not None:
+                # Shard 0 reuses the tree's derived root membership (home
+                # task); remote shards got their own routed copies.
+                routed = (
+                    members.get(shard.block_uid)
+                    if shard.index == 0
+                    else self._buffered.get(entry)
+                )
+                if routed:
+                    resolve_scheduled_block(
+                        self._schedule,
+                        self._config,
+                        shard.block_uid,
+                        routed,
+                        resolved_in_tree,
+                        context,
+                        pair_range=(shard.start, shard.stop),
+                    )
+                continue
+            if entry not in members:
                 continue  # tree produced no routed entities (fully pruned)
-            self._resolve_one_block(block_uid, members[block_uid], resolved_in_tree, context)
+            self._resolve_one_block(entry, members[entry], resolved_in_tree, context)
 
     # ------------------------------------------------------------------
 
@@ -160,6 +197,8 @@ class ResolutionReducer(Reducer):
         (footnote 5: sub-block membership is recomputed reduce-side)."""
         members: Dict[str, List[RoutedEntity]] = {}
         for tree_uid, routed in self._buffered.items():
+            if tree_uid in self._schedule.shards:
+                continue  # remote shard group: consumed whole in cleanup
             root = self._schedule.trees[tree_uid]
             functions = {
                 f.level: f for f in self._config.scheme.families[root.family]
@@ -202,10 +241,18 @@ def resolve_scheduled_block(
     routed: List[RoutedEntity],
     resolved_in_tree: Dict[str, Set[Pair]],
     context: TaskContext,
+    *,
+    pair_range: Optional[Tuple[int, int]] = None,
 ) -> None:
     """Resolve one scheduled block (shared by both routing modes):
     mechanism M, window/Th from the schedule, SHOULD-RESOLVE veto, and
-    per-tree skip of pairs already resolved in descendants."""
+    per-tree skip of pairs already resolved in descendants.
+
+    ``pair_range`` restricts the resolution to a slice of the raw pair
+    stream — a balance shard of an oversized root.  Only roots are ever
+    sharded, and roots run to exhaustion (no stream-order-dependent stop
+    condition), so shard output is independent of placement.
+    """
     if len(routed) < 2:
         return
     block = schedule.blocks[block_uid]
@@ -254,11 +301,17 @@ def resolve_scheduled_block(
         should_resolve=ok_to_resolve,
         stop=stop,
         on_resolved=on_resolved,
+        pair_range=pair_range,
     )
-    context.counters.increment("driver", "blocks_resolved")
+    if pair_range is None:
+        context.counters.increment("driver", "blocks_resolved")
+        span_name = f"resolve:{block_uid}"
+    else:
+        context.counters.increment("driver", "shards_resolved")
+        span_name = f"resolve:{block_uid}@{pair_range[0]}-{pair_range[1]}"
     if trace:
         context.record_span(
-            f"resolve:{block_uid}", "block", span_start, context.clock.now,
+            span_name, "block", span_start, context.clock.now,
             block=block_uid, entities=len(entities), duplicates=found,
         )
 
@@ -369,6 +422,7 @@ class ProgressiveResult:
     job1: JobResult
     job2: JobResult
     duplicate_events: List[Event]
+    balance: Optional["BalancePlan"] = None
 
     @property
     def total_time(self) -> float:
@@ -393,6 +447,9 @@ class ProgressiveER:
         strategy: tree scheduler — ``"ours"``, ``"nosplit"`` or ``"lpt"``
             (Section VI-B2's comparison).
         seed: seed for training-sample selection and cost-factor sampling.
+        balance: post-pass placement strategy — ``"slack"`` (the paper
+            baseline: schedule untouched), ``"blocksplit"`` or
+            ``"pairrange"`` (see :mod:`repro.core.balance`).
     """
 
     def __init__(
@@ -402,11 +459,18 @@ class ProgressiveER:
         *,
         strategy: str = "ours",
         seed: int = 0,
+        balance: str = "slack",
     ) -> None:
         self.config = config
         self.cluster = cluster
         self.strategy = strategy
         self.seed = seed
+        self.balance = balance
+        if balance == "blocksplit" and config.routing == "block":
+            raise ValueError(
+                "balance='blocksplit' requires tree routing; the naive "
+                "block-routing mapper cannot replicate shard groups"
+            )
 
     def run(self, dataset: Dataset) -> ProgressiveResult:
         """Execute Job 1, schedule generation and Job 2 on ``dataset``."""
@@ -428,7 +492,25 @@ class ProgressiveER:
             self.cluster.num_reduce_tasks,
             strategy=self.strategy,
         )
+        plan = apply_balance(schedule, strategy=self.balance)
+        if self.cluster.tracer is not None:
+            self.cluster.tracer.record_instant(
+                "balance-plan",
+                "setup",
+                job1.end_time,
+                job="progressive-resolution",
+                strategy=plan.strategy,
+                shards=len(plan.shards),
+                split_blocks=len(plan.split_blocks),
+                moved_trees=plan.moved_trees,
+                planned_makespan_before=plan.before.max,
+                planned_makespan_after=plan.after.max,
+            )
         job2 = self._run_resolution_job(annotated, schedule, job1.end_time)
+        # Plan statistics are pure functions of the deterministic schedule,
+        # so merging them into the job counters keeps backend parity.
+        for name, value in plan.counter_items().items():
+            job2.counters.increment("balance", name, value)
         events = _first_discoveries(job2.events)
         return ProgressiveResult(
             dataset=dataset,
@@ -437,6 +519,7 @@ class ProgressiveER:
             job1=job1,
             job2=job2,
             duplicate_events=events,
+            balance=plan,
         )
 
     # ------------------------------------------------------------------

@@ -25,9 +25,12 @@ tree schedulers compared in Section VI-B2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..blocking.blocks import Block
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (balance imports us)
+    from .balance import BlockShard
 from ..mapreduce.clock import CostModel
 from .config import ApproachConfig
 from .estimation import BlockEstimate, EstimationModel
@@ -64,6 +67,10 @@ class ProgressiveSchedule:
         weights: ``W(c_i)`` per interval.
         generation_cost: virtual cost charged per Job-2 map task for
             generating this schedule.
+        shards: routing key -> :class:`~repro.core.balance.BlockShard` for
+            pair-range shards of oversized root blocks; empty unless a
+            non-``slack`` balance strategy split something (see
+            :func:`repro.core.balance.apply_balance`).
     """
 
     num_tasks: int
@@ -81,6 +88,7 @@ class ProgressiveSchedule:
     weights: List[float]
     generation_cost: float
     blocks: Dict[str, Block] = field(default_factory=dict)
+    shards: Dict[str, "BlockShard"] = field(default_factory=dict)
 
     def task_of_tree(self, tree_uid: str) -> int:
         """Reduce task responsible for a tree."""
@@ -149,7 +157,7 @@ def generate_schedule(
         )
 
     blocks = _all_blocks(trees)
-    sl = _utility_sorted(blocks, model)
+    sl = _utility_sorted(blocks, model.estimates)
     tracker.sorted_items(len(sl))
     buckets, cost_vector, weights = _bucketize(
         sl, model, cost_vector, weights, num_tasks, config
@@ -166,7 +174,7 @@ def generate_schedule(
         assignment = _partition_by_slack(trees, vc, weights, widths, num_tasks)
     tracker.sorted_items(len(trees))
 
-    block_order = _build_block_orders(trees, model, assignment, num_tasks)
+    block_order = build_block_orders(trees, model.estimates, assignment, num_tasks)
     for order in block_order:
         tracker.sorted_items(len(order))
 
@@ -237,10 +245,12 @@ def _all_blocks(trees: Dict[str, Block]) -> List[Block]:
     return blocks
 
 
-def _utility_sorted(blocks: Sequence[Block], model: EstimationModel) -> List[Block]:
+def _utility_sorted(
+    blocks: Sequence[Block], estimates: Dict[str, BlockEstimate]
+) -> List[Block]:
     """``SL``: blocks by non-increasing utility (uid tie-break)."""
     return sorted(
-        blocks, key=lambda b: (-model.estimates[b.uid].util, b.uid)
+        blocks, key=lambda b: (-estimates[b.uid].util, b.uid)
     )
 
 
@@ -346,7 +356,7 @@ def _split_overflowed_trees(
     unsplittable: Set[str] = set()
     for _ in range(_MAX_SPLIT_ITERATIONS):
         blocks = _all_blocks(trees)
-        sl = _utility_sorted(blocks, model)
+        sl = _utility_sorted(blocks, model.estimates)
         tracker.sorted_items(len(sl))
         buckets, cost_vector, weights = _bucketize(
             sl, model, cost_vector, weights, num_tasks, config
@@ -514,9 +524,9 @@ def _partition_lpt(
 # ---------------------------------------------------------------------------
 
 
-def _build_block_orders(
+def build_block_orders(
     trees: Dict[str, Block],
-    model: EstimationModel,
+    estimates: Dict[str, BlockEstimate],
     assignment: Dict[str, int],
     num_tasks: int,
 ) -> List[List[str]]:
@@ -526,6 +536,9 @@ def _build_block_orders(
     are emitted immediately before it (highest utility first) — without
     this the parent could not skip the work its children were scheduled to
     do ([17]'s guarantee).
+
+    Public so the balance strategies can rebuild orders after reassigning
+    trees (they hold only the estimates dict, not the estimation model).
     """
     orders: List[List[str]] = [[] for _ in range(num_tasks)]
     for task in range(num_tasks):
@@ -533,13 +546,13 @@ def _build_block_orders(
         for uid, root in trees.items():
             if assignment[uid] == task:
                 task_blocks.extend(root.subtree())
-        ranked = _utility_sorted(task_blocks, model)
+        ranked = _utility_sorted(task_blocks, estimates)
         emitted: Set[str] = set()
         order: List[str] = []
 
         def emit(block: Block) -> None:
             for child in sorted(
-                block.children, key=lambda b: (-model.estimates[b.uid].util, b.uid)
+                block.children, key=lambda b: (-estimates[b.uid].util, b.uid)
             ):
                 if child.uid not in emitted:
                     emit(child)
@@ -608,4 +621,26 @@ def _assemble_schedule(
     )
 
 
-__all__ = ["ProgressiveSchedule", "generate_schedule"]
+def recompute_sequence(schedule: ProgressiveSchedule) -> None:
+    """Recompute ``SQ`` values after a balance pass rewrote the block
+    orders.
+
+    The stride covers the longest possible per-task order (every block or
+    shard entry), so ``SQ // stride`` still recovers the task index for
+    sequence-based routing.
+    """
+    stride = sum(len(order) for order in schedule.block_order) + 1
+    sequence: Dict[str, int] = {}
+    for task, order in enumerate(schedule.block_order):
+        for position, uid in enumerate(order):
+            sequence[uid] = task * stride + position
+    schedule.sequence = sequence
+    schedule.sequence_stride = stride
+
+
+__all__ = [
+    "ProgressiveSchedule",
+    "generate_schedule",
+    "build_block_orders",
+    "recompute_sequence",
+]

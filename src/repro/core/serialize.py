@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Tuple
 
 from ..blocking.blocks import Block
 from ..mapreduce.types import Event
+from .balance import BlockShard
 from .estimation import BlockEstimate
 from .schedule import ProgressiveSchedule
 
@@ -61,6 +62,12 @@ def schedule_to_dict(schedule: ProgressiveSchedule) -> Dict[str, Any]:
         "cost_vector": list(schedule.cost_vector),
         "weights": list(schedule.weights),
         "generation_cost": schedule.generation_cost,
+        # Optional key: absent (or empty) unless a balance pass sharded
+        # oversized roots — format 1 readers without shard support can
+        # still parse unbalanced schedules.
+        "shards": [
+            asdict(schedule.shards[key]) for key in sorted(schedule.shards)
+        ],
     }
 
 
@@ -114,6 +121,9 @@ def schedule_from_dict(data: Dict[str, Any]) -> ProgressiveSchedule:
         weights=list(data["weights"]),
         generation_cost=data["generation_cost"],
         blocks=blocks,
+        shards={
+            spec["key"]: BlockShard(**spec) for spec in data.get("shards", ())
+        },
     )
 
 

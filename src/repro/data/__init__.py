@@ -8,6 +8,7 @@ from .entity import Entity, Pair, entity_pair_key, pair_key, pairs_count
 from .generator import GeneratorConfig, RecordFactory, generate_dataset
 from .people import make_people, people_perturber
 from .perturb import NoiseProfile, Perturber
+from .skewed import make_skewed, skewed_perturber
 from .profile import (
     AttributeProfile,
     DatasetProfile,
@@ -41,4 +42,6 @@ __all__ = [
     "books_perturber",
     "make_people",
     "people_perturber",
+    "make_skewed",
+    "skewed_perturber",
 ]

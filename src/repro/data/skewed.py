@@ -1,0 +1,96 @@
+"""Synthetic skewed publication dataset for load-balancing studies.
+
+Real blocking-key distributions are heavy-tailed; this generator makes the
+tail adversarial: a *hub* fraction of the records shares one constant title
+prefix, so a short title-prefix blocking function (see
+:func:`repro.core.config.skewed_config`) produces one giant block holding
+most of the dataset next to many small ones — the data-skew workload of
+Kolb et al.'s BlockSplit/PairRange analysis.
+
+The hub decision is made per *cluster* (in the clean record, before
+perturbation), and the title perturbation protects a prefix longer than
+the hub marker, so duplicates never straddle the hub boundary.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from .dataset import Dataset
+from .generator import GeneratorConfig, generate_dataset
+from .perturb import NoiseProfile, Perturber
+from .vocab import VENUES, make_abstract, make_author_list, make_title, zipf_choice
+
+#: Constant title prefix shared by every hub record.  Two characters long —
+#: exactly the prefix length `skewed_config` blocks on.
+HUB_PREFIX = "zz"
+
+
+def skewed_perturber() -> Perturber:
+    """Publication noise with a swap/truncate-free title.
+
+    Word swaps or truncation could move a title's first characters, pushing
+    a duplicate out of its cluster's blocking key; keeping title noise to
+    protected-prefix typos makes block membership stable, so the giant hub
+    block really contains every hub duplicate.
+    """
+    return Perturber(
+        {
+            "title": NoiseProfile(
+                typo_rate=1.0, truncate_prob=0.0, swap_prob=0.0,
+                missing_prob=0.0, protect_prefix=6, apply_prob=0.85,
+            ),
+            "abstract": NoiseProfile(
+                typo_rate=1.5, truncate_prob=0.10, swap_prob=0.12,
+                missing_prob=0.12, protect_prefix=5, apply_prob=0.6,
+            ),
+            "venue": NoiseProfile(
+                typo_rate=0.6, truncate_prob=0.15, swap_prob=0.05,
+                missing_prob=0.10, protect_prefix=5, apply_prob=0.4,
+            ),
+            "authors": NoiseProfile(
+                typo_rate=1.0, truncate_prob=0.10, swap_prob=0.30,
+                missing_prob=0.05, protect_prefix=0, apply_prob=0.6,
+            ),
+            "year": NoiseProfile(
+                typo_rate=0.2, truncate_prob=0.0, swap_prob=0.0,
+                missing_prob=0.05, protect_prefix=0, apply_prob=0.25,
+            ),
+        }
+    )
+
+
+def make_skewed(
+    num_entities: int = 2000,
+    *,
+    seed: int = 0,
+    hub_fraction: float = 0.8,
+    duplicate_ratio: float = 0.3,
+) -> Dataset:
+    """Build the skewed dataset: ``hub_fraction`` of the clean records get
+    the :data:`HUB_PREFIX` title marker, the rest keep natural titles."""
+    if not 0.0 <= hub_fraction <= 1.0:
+        raise ValueError(f"hub_fraction must be in [0, 1], got {hub_fraction}")
+
+    def record(rng: random.Random) -> Dict[str, str]:
+        title = make_title(rng)
+        if rng.random() < hub_fraction:
+            title = f"{HUB_PREFIX} {title}"
+        return {
+            "title": title,
+            "abstract": make_abstract(rng),
+            "venue": zipf_choice(rng, VENUES, skew=0.9),
+            "authors": make_author_list(rng),
+            "year": str(rng.randint(1985, 2016)),
+        }
+
+    config = GeneratorConfig(
+        num_entities=num_entities,
+        duplicate_ratio=duplicate_ratio,
+        seed=seed,
+    )
+    return generate_dataset("skewed-publications", config, record, skewed_perturber())
+
+
+__all__ = ["make_skewed", "skewed_perturber", "HUB_PREFIX"]

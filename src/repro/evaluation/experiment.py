@@ -59,6 +59,10 @@ class RunSpec:
         machines: simulated cluster size (2 map + 2 reduce slots each).
         strategy: tree scheduler for the progressive approach — ``"ours"``,
             ``"nosplit"`` or ``"lpt"`` (ignored by Basic).
+        balance: load-balancing post-pass for the progressive approach —
+            ``"slack"`` (paper baseline, schedule untouched),
+            ``"blocksplit"`` or ``"pairrange"`` (ignored by Basic; see
+            :mod:`repro.core.balance`).
         seed: seed for training-sample and cost-factor sampling.
         label: run label for reports and traces (default: derived).
         cost_model: virtual-time cost model (default: :class:`CostModel`).
@@ -78,6 +82,7 @@ class RunSpec:
     config: Union[ApproachConfig, BasicConfig]
     machines: int = 10
     strategy: str = "ours"
+    balance: str = "slack"
     seed: int = 0
     label: Optional[str] = None
     cost_model: Optional[CostModel] = None
@@ -173,8 +178,21 @@ class ExperimentRun:
             result = BasicER(spec.config, self.cluster).run(spec.dataset)
         else:
             result = ProgressiveER(
-                spec.config, self.cluster, strategy=spec.strategy, seed=spec.seed
+                spec.config,
+                self.cluster,
+                strategy=spec.strategy,
+                seed=spec.seed,
+                balance=spec.balance,
             ).run(spec.dataset)
+        if spec.metrics is not None and getattr(result, "balance", None) is not None:
+            spec.metrics.snapshot(
+                "balance",
+                {
+                    f"balance.{name}": value
+                    for name, value in result.balance.counter_items().items()
+                },
+                strategy=result.balance.strategy,
+            )
         if spec.metrics is not None:
             # Process-wide matcher statistics at run end.  Per-phase worker
             # deltas are already aggregated into the phase snapshots (task

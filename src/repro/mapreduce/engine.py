@@ -217,6 +217,7 @@ class Cluster:
             )
             map_wall = time.perf_counter() - wall_start
             map_phase_end = max((t.end_time for t in map_results), default=start_time)
+            _record_cost_skew(aux, "map", [t.cost for t in map_results])
             self._snapshot_phase(
                 f"{job.name}/map", counters, aux, backend,
                 tasks=len(map_results), phase_end=map_phase_end, wall=map_wall,
@@ -229,6 +230,7 @@ class Cluster:
             )
             reduce_wall = time.perf_counter() - wall_start
             end_time = max((t.end_time for t in reduce_results), default=map_phase_end)
+            _record_cost_skew(aux, "reduce", [t.cost for t in reduce_results])
             self._snapshot_phase(
                 f"{job.name}/reduce", counters, aux, backend,
                 tasks=len(reduce_results), phase_end=end_time, wall=reduce_wall,
@@ -668,6 +670,26 @@ class Cluster:
                 )
             )
         return results, all_files
+
+
+def _record_cost_skew(aux: Counters, phase: str, costs: Sequence[float]) -> None:
+    """Per-phase virtual-cost skew, surfaced as ``balance.*`` metrics.
+
+    Virtual task costs are backend-identical, so these aux values are
+    deterministic; they ride the metrics snapshots (like the rest of the
+    aux layer) because they are observational, not part of a job's logical
+    output.  Milli-scaled to stay integers like every other counter.
+    """
+    if not costs:
+        return
+    mean = sum(costs) / len(costs)
+    if mean <= 0:
+        return
+    peak = max(costs)
+    aux.increment("balance", f"{phase}_cost_max_milli", int(round(peak * 1000)))
+    aux.increment(
+        "balance", f"{phase}_cost_max_over_mean_milli", int(round(peak / mean * 1000))
+    )
 
 
 __all__ = ["Cluster", "SlotPool"]

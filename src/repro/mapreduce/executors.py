@@ -564,9 +564,19 @@ class ParallelExecutor(Executor):
                 for task_id, items in enumerate(partitions)
             ]
         pool = self._ensure_pool(state)
+        # Dispatch heaviest partitions first: chunks are handed out in
+        # submission order, so on skewed inputs the giant partition starts
+        # immediately instead of queueing behind a chunk of light tasks.
+        # Payload contents are untouched; re-sorting by task id below
+        # restores the order the engine (and backend parity) requires.
+        order = sorted(
+            range(num_tasks), key=lambda t: (-len(partitions[t]), t)
+        )
+        if order != list(range(num_tasks)):
+            self._count("reduce_skew_dispatch", 1)
         tasks: List[Tuple[int, bytes]] = []
-        for task_id, items in enumerate(partitions):
-            blob = wire.encode_records(items)
+        for task_id in order:
+            blob = wire.encode_records(partitions[task_id])
             self._count("ipc_input_bytes", len(blob))
             self._count("ipc_bytes", len(blob))
             tasks.append((task_id, blob))
@@ -574,10 +584,12 @@ class ParallelExecutor(Executor):
         self._count("tasks_fanned", num_tasks)
         self._count("chunks", -(-num_tasks // chunksize))
         results = list(pool.map(_worker_reduce_task, tasks, chunksize=chunksize))
-        return [
+        payloads = [
             self._decode(blob, raw, wire.decode_reduce_payload)
             for blob, raw in results
         ]
+        payloads.sort(key=lambda p: p.task_id)
+        return payloads
 
     # -- internals -----------------------------------------------------
 

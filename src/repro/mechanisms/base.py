@@ -158,6 +158,7 @@ def resolve_block(
     should_resolve: Optional[ShouldResolve] = None,
     stop: Optional[StopCondition] = None,
     on_resolved: Optional[Callable[[Entity, Entity, bool], None]] = None,
+    pair_range: Optional[Tuple[int, int]] = None,
 ) -> ResolveStats:
     """Resolve one block with mechanism M (shared driver).
 
@@ -177,14 +178,28 @@ def resolve_block(
         on_resolved: optional observer called for every *performed*
             comparison with the verdict (used to track per-tree resolved
             pairs so parents skip work done in children).
+        pair_range: optional ``(start, stop)`` half-open slice of the raw
+            pair-stream positions — only pairs at those positions are
+            considered (load-balancing shards of oversized root blocks).
+            Positions outside the range are free: no veto, no charge, no
+            stats.  ``CostA`` is still charged by the stream itself.
 
     Returns:
         the final :class:`ResolveStats` of the block.
     """
     stats = ResolveStats()
     condition = stop if stop is not None else NeverStop()
+    first, last = (0, None) if pair_range is None else pair_range
+    if first < 0 or (last is not None and last < first):
+        raise ValueError(f"invalid pair_range {pair_range!r}")
     stream = mechanism.pair_stream(entities, window, sort_key, charge, cost_model)
+    position = -1
     for e1, e2 in stream:
+        position += 1
+        if position < first:
+            continue
+        if last is not None and position >= last:
+            break
         if should_resolve is not None and not should_resolve(e1, e2):
             stats.skipped += 1
             continue

@@ -1,0 +1,245 @@
+"""Property-based tests: load-balancing invariants over random workloads.
+
+The splitter and placer are pure functions of the schedule's estimates, so
+their invariants are checked directly on synthetic inputs:
+
+* shard bounds always partition the pair space ``[0, total_pairs)``
+  exactly — no pair lost, none compared twice;
+* LPT placement is deterministic and insensitive to the order its work
+  units are presented in;
+* on an adversarial single-giant-block workload, ``blocksplit`` never has
+  a worse planned makespan than the untouched ``slack`` baseline, and it
+  actually shards the giant.
+
+Seeds are pinned (``@seed``) so CI failures replay locally; the profile
+machinery in ``conftest.py`` additionally derandomizes under
+``HYPOTHESIS_PROFILE=ci``.
+"""
+
+import copy
+import random
+
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro.blocking.blocks import Block
+from repro.core.balance import (
+    apply_balance,
+    place_units,
+    shard_bounds,
+    skew_report,
+)
+from repro.core.estimation import BlockEstimate
+from repro.core.schedule import (
+    ProgressiveSchedule,
+    build_block_orders,
+    recompute_sequence,
+)
+from repro.mechanisms.base import window_pairs_count
+
+_WINDOW = 10
+
+
+# ---------------------------------------------------------------------------
+# shard_bounds: exact partition of the pair space
+# ---------------------------------------------------------------------------
+
+
+@seed(20260807)
+@given(
+    total_pairs=st.integers(min_value=0, max_value=100_000),
+    num_shards=st.integers(min_value=1, max_value=64),
+)
+def test_shard_bounds_partition_pair_space(total_pairs, num_shards):
+    bounds = shard_bounds(total_pairs, num_shards)
+    assert len(bounds) == num_shards + 1
+    assert bounds[0] == 0
+    assert bounds[-1] == total_pairs
+    assert bounds == sorted(bounds)
+    # Consecutive [start, stop) ranges tile [0, total_pairs) with no gap
+    # and no overlap, and shard widths are balanced to within one pair.
+    widths = [bounds[i + 1] - bounds[i] for i in range(num_shards)]
+    assert sum(widths) == total_pairs
+    assert all(w >= 0 for w in widths)
+    if total_pairs >= num_shards:
+        assert max(widths) - min(widths) <= 1
+
+
+# ---------------------------------------------------------------------------
+# place_units: deterministic, order-insensitive LPT
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def work_units(draw):
+    n = draw(st.integers(1, 40))
+    costs = draw(
+        st.lists(
+            st.floats(0.0, 1e4, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return [(f"unit{i:03d}", cost) for i, cost in enumerate(costs)]
+
+
+@seed(20260807)
+@given(
+    units=work_units(),
+    num_tasks=st.integers(1, 12),
+    shuffle_seed=st.integers(0, 2**16),
+)
+def test_place_units_is_order_insensitive(units, num_tasks, shuffle_seed):
+    baseline = place_units(units, num_tasks)
+    shuffled = list(units)
+    random.Random(shuffle_seed).shuffle(shuffled)
+    assert place_units(shuffled, num_tasks) == baseline
+    assert set(baseline) == {key for key, _ in units}
+    assert all(0 <= task < num_tasks for task in baseline.values())
+
+
+@seed(20260807)
+@given(units=work_units(), num_tasks=st.integers(1, 12))
+def test_place_units_respects_lpt_bound(units, num_tasks):
+    """LPT's classic guarantee: makespan <= mean + heaviest unit."""
+    assignment = place_units(units, num_tasks)
+    loads = [0.0] * num_tasks
+    for key, cost in units:
+        loads[assignment[key]] += cost
+    total = sum(cost for _, cost in units)
+    heaviest = max((cost for _, cost in units), default=0.0)
+    assert max(loads) <= total / num_tasks + heaviest + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# blocksplit vs slack on adversarial single-giant workloads
+# ---------------------------------------------------------------------------
+
+
+def _toy_schedule(sizes, num_tasks):
+    """A schedule of childless root blocks, one per size, LPT-assigned.
+
+    Costs equal the mechanism pair count (``cost_a = 0``), the worst case
+    for skew: all virtual time is comparisons.
+    """
+    trees = {}
+    estimates = {}
+    for i, n in enumerate(sizes):
+        block = Block(
+            family="X", level=1, key=f"b{i:03d}", entity_ids=(), size_override=n
+        )
+        pairs = window_pairs_count(n, _WINDOW)
+        cost = float(max(pairs, 1))
+        trees[block.uid] = block
+        estimates[block.uid] = BlockEstimate(
+            cov=0,
+            d=0.5,
+            frac=1.0,
+            th=n,
+            window=_WINDOW,
+            dup=1.0,
+            cost_p=cost,
+            cost=cost,
+            util=1.0 / cost,
+            full=True,
+        )
+    order = sorted(trees, key=lambda u: (-estimates[u].cost, u))
+    loads = [0.0] * num_tasks
+    assignment = {}
+    for uid in order:
+        task = min(range(num_tasks), key=lambda t: (loads[t], t))
+        assignment[uid] = task
+        loads[task] += estimates[uid].cost
+    schedule = ProgressiveSchedule(
+        num_tasks=num_tasks,
+        trees=trees,
+        estimates=estimates,
+        assignment=assignment,
+        block_order=build_block_orders(trees, estimates, assignment, num_tasks),
+        dominance={uid: i for i, uid in enumerate(sorted(trees))},
+        tree_of_block={uid: uid for uid in trees},
+        main_tree={},
+        split_roots={},
+        sequence={},
+        sequence_stride=1,
+        cost_vector=[1.0],
+        weights=[1.0],
+        generation_cost=0.0,
+        blocks=dict(trees),
+    )
+    recompute_sequence(schedule)
+    return schedule
+
+
+def _giant_size_for(small_sizes, num_tasks):
+    """A block size whose pair count dwarfs the rest: the giant alone must
+    exceed twice the post-split mean load, so splitting provably wins."""
+    small_pairs = sum(window_pairs_count(n, _WINDOW) for n in small_sizes)
+    target = max(2 * small_pairs + 4 * num_tasks, 50)
+    size = _WINDOW
+    while window_pairs_count(size, _WINDOW) < target:
+        size *= 2
+    return size
+
+
+@seed(20260807)
+@settings(max_examples=40, deadline=None)
+@given(
+    small_sizes=st.lists(st.integers(2, 12), min_size=0, max_size=12),
+    num_tasks=st.integers(3, 8),
+)
+def test_blocksplit_never_loses_to_slack_on_giant_blocks(small_sizes, num_tasks):
+    sizes = list(small_sizes) + [_giant_size_for(small_sizes, num_tasks)]
+    slack_schedule = _toy_schedule(sizes, num_tasks)
+    split_schedule = copy.deepcopy(slack_schedule)
+
+    slack_plan = apply_balance(slack_schedule, strategy="slack")
+    split_plan = apply_balance(split_schedule, strategy="blocksplit")
+
+    assert split_plan.shards, "the giant block was not sharded"
+    assert split_plan.after.max <= slack_plan.after.max + 1e-6
+    assert split_plan.after.max_over_mean <= slack_plan.after.max_over_mean + 1e-6
+
+    # The shards of each split root tile its pair stream exactly.
+    by_block = {}
+    for shard in split_plan.shards:
+        by_block.setdefault(shard.block_uid, []).append(shard)
+    for uid, shards in by_block.items():
+        shards.sort(key=lambda s: s.index)
+        root = split_schedule.trees[uid]
+        total = window_pairs_count(root.size, split_schedule.estimates[uid].window)
+        assert shards[0].start == 0
+        assert shards[-1].stop == total
+        for left, right in zip(shards, shards[1:]):
+            assert left.stop == right.start
+
+    # The rewritten schedule stays well-formed: every order entry is a
+    # known block or shard, each shard appears exactly once, and the skew
+    # report matches the block orders.
+    entries = [e for order in split_schedule.block_order for e in order]
+    assert len(entries) == len(set(entries))
+    known = set(split_schedule.tree_of_block) | set(split_schedule.shards)
+    home_replaced = {s.key for s in split_plan.shards if s.index == 0}
+    assert set(entries) == (known - set(by_block)) | home_replaced | {
+        s.key for s in split_plan.shards if s.index > 0
+    }
+    assert skew_report(split_schedule) == split_plan.after
+
+
+@seed(20260807)
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(2, 30), min_size=1, max_size=20),
+    num_tasks=st.integers(1, 8),
+)
+def test_apply_balance_is_deterministic(sizes, num_tasks):
+    for strategy in ("blocksplit", "pairrange"):
+        first = _toy_schedule(sizes, num_tasks)
+        second = copy.deepcopy(first)
+        plan_a = apply_balance(first, strategy=strategy)
+        plan_b = apply_balance(second, strategy=strategy)
+        assert plan_a == plan_b
+        assert first.assignment == second.assignment
+        assert first.block_order == second.block_order
+        assert first.shards == second.shards
+        assert first.sequence == second.sequence

@@ -12,7 +12,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.blocking import build_forests, citeseer_scheme
+from repro.blocking import (
+    BlockingScheme,
+    build_forests,
+    citeseer_scheme,
+    prefix_function,
+)
+from repro.data.dataset import Dataset
+from repro.data.entity import Entity
 from repro.core.responsibility import (
     compute_coverage,
     covered_pairs,
@@ -151,3 +158,103 @@ class TestSharedEntities:
         assert shared_entities(histogram, 0, "a") == 5
         assert shared_entities(histogram, 1, "p") == 6
         assert shared_entities(histogram, 0, "zz") == 0
+
+
+def _two_family_scheme(order=("X", "Y")):
+    """A minimal two-family scheme; ``order`` controls dominance ≻_F."""
+    functions = {
+        "X": [prefix_function("X", 1, "a", 2)],
+        "Y": [prefix_function("Y", 1, "b", 2)],
+    }
+    return BlockingScheme(families={f: functions[f] for f in order})
+
+
+def _mini_dataset():
+    """Three entities: 0 and 1 co-blocked under both families, 2 only
+    under Y — the smallest input where dominance order changes coverage."""
+    return Dataset(
+        entities=[
+            Entity(0, {"a": "xx1", "b": "yy1"}),
+            Entity(1, {"a": "xx2", "b": "yy2"}),
+            Entity(2, {"a": "qq1", "b": "yy3"}),
+        ],
+        clusters={0: 0, 1: 0, 2: 1},
+        name="mini",
+    )
+
+
+class TestUncovEdgeCases:
+    """Backfill: degenerate overlap chains the IE formula must survive."""
+
+    def test_empty_histogram(self):
+        for num_dominating in range(4):
+            assert uncovered_pairs({}, num_dominating) == 0
+
+    def test_all_none_chain_counts_nothing(self):
+        # Entities present in no dominating family at all: every subset
+        # projection hits a None and is excluded, so Uncov is exactly 0.
+        histogram = {(None, None, None): 7}
+        assert uncovered_pairs(histogram, 3) == 0
+
+    def test_partially_empty_chain(self):
+        # Two entities sharing only the second dominating family: the
+        # singleton {1} contributes Pairs(2); every subset containing
+        # family 0 projects onto a None and is excluded.
+        histogram = {(None, "p"): 2}
+        assert uncovered_pairs(histogram, 2) == pairs_count(2)
+
+    def test_disjoint_chains_do_not_interact(self):
+        # Each entity group overlaps a different dominating family; no
+        # pair is double-counted, no inclusion-exclusion term survives
+        # beyond the singletons.
+        histogram = {("a", None): 2, (None, "p"): 3}
+        assert uncovered_pairs(histogram, 2) == pairs_count(2) + pairs_count(3)
+
+    def test_covered_with_empty_histogram_is_total(self):
+        assert covered_pairs(5, {}, 2) == pairs_count(5)
+
+
+class TestDominanceOrdering:
+    """Backfill: the family order *is* the dominance order ≻_F."""
+
+    def test_single_function_forest_is_fully_covered(self):
+        # One family means no dominating families anywhere: every block
+        # covers all its pairs.
+        scheme = BlockingScheme(families={"X": [prefix_function("X", 1, "a", 2)]})
+        _, stats, _ = run_statistics_job(Cluster(2), _mini_dataset(), scheme)
+        coverage = compute_coverage(stats)
+        assert coverage
+        for uid, block in stats.blocks.items():
+            assert coverage[uid] == pairs_count(block.size)
+
+    def test_dominating_family_claims_shared_pair(self):
+        # X ≻ Y: the (0, 1) pair belongs to X's tree; Y1:yy keeps only
+        # the pairs involving entity 2.
+        _, stats, _ = run_statistics_job(
+            Cluster(2), _mini_dataset(), _two_family_scheme(("X", "Y"))
+        )
+        coverage = compute_coverage(stats)
+        assert coverage["X1:xx"] == pairs_count(2)
+        assert coverage["Y1:yy"] == pairs_count(3) - pairs_count(2)
+
+    def test_reversed_order_flips_responsibility(self):
+        # Y ≻ X: the same pair now belongs to Y's tree and X1:xx covers
+        # nothing — responsibility is asymmetric by construction.
+        _, stats, _ = run_statistics_job(
+            Cluster(2), _mini_dataset(), _two_family_scheme(("Y", "X"))
+        )
+        coverage = compute_coverage(stats)
+        assert coverage["Y1:yy"] == pairs_count(3)
+        assert coverage["X1:xx"] == 0
+
+    def test_every_pair_claimed_exactly_once(self):
+        # Summing Cov over all blocks counts each co-blocked pair once
+        # regardless of dominance direction (here blocks within a family
+        # are disjoint, so no within-family double counting either).
+        expected = 3  # the distinct co-blocked pairs (0,1), (0,2), (1,2)
+        for order in (("X", "Y"), ("Y", "X")):
+            _, stats, _ = run_statistics_job(
+                Cluster(2), _mini_dataset(), _two_family_scheme(order)
+            )
+            coverage = compute_coverage(stats)
+            assert sum(coverage.values()) == expected

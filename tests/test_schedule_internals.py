@@ -41,7 +41,7 @@ class TestFigureFiveExample:
         costs = [5.0, 5.0, 4.0, 6.0, 4.0, 6.0, 8.0, 7.0, 9.0]
         blocks = [_block(f"b{i}") for i in range(len(costs))]
         model = _model_with_costs(blocks, costs)
-        sl = _utility_sorted(blocks, model)
+        sl = _utility_sorted(blocks, model.estimates)
         assert [b.uid for b in sl] == [b.uid for b in blocks]  # planted order
         buckets, vector, weights = _bucketize(
             sl, model, [10.0, 20.0, 30.0], [1.0, 0.6, 0.3], 3, citeseer_config()
@@ -59,7 +59,7 @@ class TestBucketize:
         costs = [50.0, 50.0, 50.0]
         blocks = [_block(f"x{i}") for i in range(3)]
         model = _model_with_costs(blocks, costs)
-        sl = _utility_sorted(blocks, model)
+        sl = _utility_sorted(blocks, model.estimates)
         buckets, vector, weights = _bucketize(
             sl, model, [10.0, 20.0], [1.0, 0.5], 1, citeseer_config()
         )
@@ -94,5 +94,5 @@ class TestUtilitySort:
     def test_ties_break_by_uid(self):
         blocks = [_block("bb"), _block("aa")]
         model = _model_with_costs(blocks, [1.0, 1.0], utils=[2.0, 2.0])
-        ranked = _utility_sorted(blocks, model)
+        ranked = _utility_sorted(blocks, model.estimates)
         assert [b.uid for b in ranked] == ["X1:aa", "X1:bb"]
