@@ -8,9 +8,16 @@ Expected shape (paper): speedup grows with μ, and higher recall levels
 speed up better than lower ones — the constant Job-1 + schedule-generation
 overhead dominates the early part of every run and does not shrink with
 the cluster.
+
+The sweep runs on the serial backend by default; set ``BENCH_BACKEND=process``
+(and optionally ``BENCH_WORKERS=n``) to drive it through the process pool —
+the curves are bit-identical either way, only wall-clock changes.  Worker
+counts are clamped to the CPU affinity mask and both values are recorded.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -23,13 +30,32 @@ MACHINE_COUNTS = [5, 10, 15, 20, 25]
 RECALL_LEVELS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
 
 
+def _bench_backend():
+    """(backend, requested workers, effective workers) from the env,
+    with the worker count clamped to the CPU affinity mask."""
+    backend = os.environ.get("BENCH_BACKEND", "serial")
+    requested = int(os.environ.get("BENCH_WORKERS", "4"))
+    if hasattr(os, "sched_getaffinity"):
+        cpus = len(os.sched_getaffinity(0))
+    else:
+        cpus = os.cpu_count() or 1
+    return backend, requested, max(1, min(requested, cpus))
+
+
 def test_fig11(benchmark, books_dataset, books_cached_matcher, report):
     config = books_config(matcher=books_cached_matcher)
+    backend, requested_workers, workers = _bench_backend()
 
     def run_sweep():
         return {
             machines: ExperimentRun(
-                RunSpec(books_dataset, config, machines=machines)
+                RunSpec(
+                    books_dataset,
+                    config,
+                    machines=machines,
+                    backend=backend,
+                    workers=workers,
+                )
             ).run().curve
             for machines in MACHINE_COUNTS
         }
@@ -69,3 +95,6 @@ def test_fig11(benchmark, books_dataset, books_cached_matcher, report):
     mid = speedups[(highest_level, 15)]
     assert mid is not None and mid > 1.0
     benchmark.extra_info["speedup_high_recall_max_machines"] = round(high, 3)
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["workers_requested"] = requested_workers
+    benchmark.extra_info["workers"] = workers

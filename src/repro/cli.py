@@ -46,7 +46,7 @@ from .evaluation import (
 from .evaluation.charts import ascii_chart
 from .mapreduce import BACKENDS, FaultPlan, RetryPolicy, SpeculationConfig
 from .mapreduce.executors import make_executor
-from .mechanisms import PSNM, SortedNeighborHint
+from .mechanisms import PSNM, SortedNeighborHint, set_default_batch_pairs
 from .observability import (
     MetricsRegistry,
     Tracer,
@@ -144,6 +144,14 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         "blocks into pair ranges), `pairrange` (contiguous cost ranges); "
         "resolved output is identical across strategies",
     )
+    parser.add_argument(
+        "--batch-pairs",
+        type=int,
+        default=None,
+        help="pairs decided per batched similarity-kernel call during "
+        "block resolution (default 64; 1 forces the scalar per-pair "
+        "path; decisions are bit-identical at any width)",
+    )
 
 
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
@@ -226,7 +234,8 @@ def _add_observability_options(parser: argparse.ArgumentParser) -> None:
         "--perf-report",
         action="store_true",
         help="print a per-phase runtime cost table (wall clock, task "
-        "fan-out, IPC wire bytes vs plain pickle, pool forks; implies "
+        "fan-out, work-stealing pulls, shared-memory vs descriptor "
+        "bytes, payload wire bytes vs plain pickle, pool forks; implies "
         "metrics collection)",
     )
 
@@ -312,6 +321,9 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _run_spec(args: argparse.Namespace, config, **overrides) -> RunSpec:
     """A RunSpec wired from the shared CLI options."""
+    batch_pairs = getattr(args, "batch_pairs", None)
+    if batch_pairs is not None:
+        set_default_batch_pairs(batch_pairs)
     backend = getattr(args, "backend", None)
     executor = None
     if backend == "process" and getattr(args, "perf_report", False):

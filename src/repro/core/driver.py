@@ -252,6 +252,15 @@ def resolve_scheduled_block(
     stream — a balance shard of an oversized root.  Only roots are ever
     sharded, and roots run to exhaustion (no stream-order-dependent stop
     condition), so shard output is independent of placement.
+
+    Comparisons run through :func:`resolve_block`'s batched kernel path:
+    pairs are decided dozens at a time by
+    :class:`~repro.similarity.batch.BatchMatcher` and the outcomes replayed
+    in stream order, so the ``ok_to_resolve`` veto / ``tree_resolved``
+    bookkeeping here observes exactly the scalar sequence of events (both
+    are keyed by the entity-id pair, which the driver's same-pair flush
+    guard relies on).  Decisions, charges, events and stop points are
+    bit-identical to per-pair ``matcher.is_match`` resolution.
     """
     if len(routed) < 2:
         return

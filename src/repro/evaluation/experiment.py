@@ -194,10 +194,12 @@ class ExperimentRun:
                 strategy=result.balance.strategy,
             )
         if spec.metrics is not None:
-            # Process-wide matcher statistics at run end.  Per-phase worker
-            # deltas are already aggregated into the phase snapshots (task
-            # payloads carry them home); this cumulative driver-process view
-            # is kept for cache_entries and cross-run totals.
+            # Driver-process matcher statistics at run end.  The memo is
+            # reset at every job start (see the job reset hooks), so this
+            # snapshot is scoped to the run's final job — it no longer leaks
+            # traffic from earlier runs in the same process.  Per-phase
+            # worker deltas are already aggregated into the phase snapshots
+            # (task payloads carry them home) and remain the complete view.
             spec.metrics.snapshot("matcher", similarity_cache_counters())
         curve = recall_curve(
             result.duplicate_events, spec.dataset, end_time=result.total_time

@@ -37,6 +37,7 @@ from .executors import (
     SerialExecutor,
     default_group_key as _default_key,
     group_by_key as _group_by_key,
+    run_job_reset_hooks,
 )
 from .job import TRACE_CONFIG_KEY, MapReduceJob, split_input
 from .types import Event, JobResult, KeyValue, OutputFile, TaskResult
@@ -199,6 +200,10 @@ class Cluster:
         # against clusters with and without a tracer.
         job.config[TRACE_CONFIG_KEY] = self.tracer is not None
         backend = executor if executor is not None else self.executor
+        # Reset process-global wall-clock caches (similarity memo et al.) so
+        # per-job `matcher.*` metrics describe this job, not every job the
+        # process ever ran; parallel workers run the same hooks at fork.
+        run_job_reset_hooks()
 
         counters = Counters()
         # Wall-clock / IPC bookkeeping per phase.  Strictly observational

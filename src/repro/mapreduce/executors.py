@@ -18,10 +18,10 @@ concerns:
 An :class:`Executor` only decides *where* the per-task computations run:
 
 * :class:`SerialExecutor` — in-process, one task at a time (the default);
-* :class:`ParallelExecutor` — fans tasks out to a pool of forked worker
-  processes that lives for the duration of one *job* (both phases), with
-  chunked dispatch, a slim wire format and an adaptive serial fallback for
-  phases too small to pay for IPC.
+* :class:`ParallelExecutor` — fans tasks out to long-lived forked worker
+  processes that pull tasks from a shared queue for the duration of one
+  *job* (both phases), moving bulk bytes through shared memory and keeping
+  an adaptive serial fallback for phases too small to pay for IPC.
 
 Parallel runtime design
 -----------------------
@@ -30,22 +30,33 @@ The engine brackets every job with :meth:`Executor.begin_job` /
 
 * **one fork per job, not per phase** — the job (full of lambdas and
   schedule objects, so never picklable) and its map splits are stashed in a
-  module global before the pool forks; workers inherit everything
-  copy-on-write and both phases run through the same pool.  The pool is
-  created lazily, so a job whose phases all fall under the serial floor
+  module global before the workers fork; workers inherit everything
+  copy-on-write and both phases run through the same workers.  Workers are
+  spawned lazily, so a job whose phases all fall under the serial floor
   never forks at all.
-* **chunked dispatch** — tasks are submitted with
-  ``chunksize ≈ tasks / (4 * workers)``, so phases with many small tasks
-  amortize the per-message round-trip instead of paying it per task.
-* **explicit phase shipping** — reduce inputs only exist in the driver
-  (they are map outputs), so they cannot arrive via fork inheritance;
-  each reduce task's partition travels to its worker inside the chunked
-  task message, wire-encoded.
-* **slim wire format** — payloads (and shipped reduce inputs) cross the
-  pipe in the compact encoding of :mod:`repro.mapreduce.wire` instead of
-  plain dataclass pickles; the executor counts actual wire bytes (and,
-  when ``profile_wire`` is on, the plain-pickle baseline) so the win is
-  measurable via the engine's ``driver.*`` metrics.
+* **pull-based work stealing** — tasks are not pre-assigned: the driver
+  enqueues task descriptors (reduce units heaviest-first, integrating the
+  balance shards of skewed schedules) on one shared queue and every idle
+  worker pulls the next one.  A slow worker simply pulls less; a fast one
+  "steals" the work a static round-robin split would have pinned
+  elsewhere.  ``steal_tasks`` counts tasks that ran on a different worker
+  than round-robin would have chosen, ``worker_idle_ms`` sums the time
+  workers spent blocked on the queue.
+* **shared-memory data plane, descriptor control plane** — bulk bytes
+  never cross the queue pipe.  Reduce inputs (which only exist in the
+  driver — they are map outputs) are wire-encoded once into a single
+  per-phase :mod:`multiprocessing.shared_memory` segment; each task
+  message carries only ``(segment name, offset, length)``.  Result
+  payloads travel back through a per-worker shared-memory arena the same
+  way, with a small descriptor on the results queue.  ``ipc_*_bytes``
+  therefore count only descriptors; ``shm_*_bytes`` count the bulk bytes
+  that moved through shared memory, and ``payload_wire_bytes`` the encoded
+  payload size independent of transport.  Platforms without working shared
+  memory degrade to inline blobs on the queues (results identical).
+* **slim wire format** — payloads and shipped reduce inputs are encoded by
+  :mod:`repro.mapreduce.wire` rather than as plain dataclass pickles,
+  whether they land in shared memory or inline; with ``profile_wire`` on,
+  the plain-pickle baseline is measured too (``ipc_payload_raw_bytes``).
 * **adaptive serial fallback** — a phase whose estimated virtual cost is
   below :attr:`ParallelExecutor.serial_floor` runs in-process: the
   dispatch overhead would exceed the fanned-out compute.
@@ -84,9 +95,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+import queue as queue_module
+import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+    _shared_memory = None
 
 from . import wire
 from .clock import CostModel
@@ -188,6 +207,34 @@ def _stat_deltas(before: Dict[Tuple[str, str], int]) -> StatDeltas:
         for (group, name), value in sorted(after.items())
         if value != before.get((group, name), 0)
     )
+
+
+# ---------------------------------------------------------------------------
+# Per-job process-state reset hooks
+# ---------------------------------------------------------------------------
+
+#: Callables invoked at the start of every job — in the driver by the
+#: engine, and in every parallel worker when it starts.  Used to reset
+#: process-global wall-clock caches (the similarity memo) so their
+#: ``matcher.*`` counters describe one job instead of leaking across
+#: back-to-back runs in the same process.  Virtual time never reads these
+#: caches, so resetting them cannot change results.
+_JOB_RESET_HOOKS: List[Callable[[], None]] = []
+
+
+def register_job_reset_hook(hook: Callable[[], None]) -> None:
+    """Register ``hook`` to run at every job start (driver and workers).
+
+    Registering the same function again is a no-op (idempotent re-imports).
+    """
+    if hook not in _JOB_RESET_HOOKS:
+        _JOB_RESET_HOOKS.append(hook)
+
+
+def run_job_reset_hooks() -> None:
+    """Run every registered per-job reset hook (engine/worker startup)."""
+    for hook in _JOB_RESET_HOOKS:
+        hook()
 
 
 # ---------------------------------------------------------------------------
@@ -406,29 +453,92 @@ def _require_job() -> _JobState:
     return state
 
 
-def _worker_map_task(task_id: int) -> Tuple[bytes, int]:
-    """Top-level map-task entry point (picklable by name).
+def _run_worker_task(state: _JobState, message, input_segments) -> Tuple[bytes, int]:
+    """Execute one task message; returns ``(wire blob, raw pickle size)``.
 
-    Inputs arrive via fork inheritance (the split lives in the stashed job
-    state); the payload returns wire-encoded, along with the plain-pickle
-    baseline size when profiling is on (0 otherwise).
+    ``("map", id)`` reads its split from the fork-inherited job state;
+    ``("reduce-shm", id, segment, offset, length)`` reads its wire-encoded
+    partition out of the named shared-memory segment (attached once per
+    worker, cached in ``input_segments``); ``("reduce", id, blob)`` is the
+    inline fallback carrying the partition on the queue itself.
     """
-    state = _require_job()
-    payload = compute_map_task(
-        state.job, state.splits[task_id], task_id, state.cost_model
-    )
+    kind = message[0]
+    if kind == "map":
+        task_id = message[1]
+        payload = compute_map_task(
+            state.job, state.splits[task_id], task_id, state.cost_model
+        )
+        blob = wire.encode_map_payload(payload)
+    else:
+        if kind == "reduce-shm":
+            _, task_id, segment_name, offset, length = message
+            segment = input_segments.get(segment_name)
+            if segment is None:
+                segment = _shared_memory.SharedMemory(name=segment_name)
+                input_segments[segment_name] = segment
+            items = wire.decode_records(bytes(segment.buf[offset : offset + length]))
+        else:
+            _, task_id, in_blob = message
+            items = wire.decode_records(in_blob)
+        payload = compute_reduce_task(state.job, items, task_id, state.cost_model)
+        blob = wire.encode_reduce_payload(payload)
     raw = wire.raw_pickle_size(payload) if state.profile_wire else 0
-    return wire.encode_map_payload(payload), raw
+    return blob, raw
 
 
-def _worker_reduce_task(task: Tuple[int, bytes]) -> Tuple[bytes, int]:
-    """Top-level reduce-task entry point: the partition ships with the task."""
+def _worker_main(
+    worker_id: int, task_queue, result_queue, arena_name: Optional[str]
+) -> None:
+    """Long-lived worker loop: pull a task, run it, post a result descriptor.
+
+    Results land in this worker's append-only shared-memory arena when one
+    exists and the blob fits in the remaining space; only the ``(offset,
+    length)`` descriptor crosses the results queue.  Oversized blobs (or a
+    platform without shared memory) fall back to inline descriptors.  Idle
+    nanoseconds spent blocked on the task queue ride home with each result
+    so the driver can report queue starvation.
+
+    A ``None`` message is the shutdown sentinel.  The worker never unlinks
+    any segment — the driver owns creation and destruction; workers only
+    attach and close, which keeps the (process-shared, fork-inherited)
+    resource tracker consistent on every CPython we support.
+    """
+    run_job_reset_hooks()
     state = _require_job()
-    task_id, blob = task
-    items = wire.decode_records(blob)
-    payload = compute_reduce_task(state.job, items, task_id, state.cost_model)
-    raw = wire.raw_pickle_size(payload) if state.profile_wire else 0
-    return wire.encode_reduce_payload(payload), raw
+    arena = None
+    if arena_name is not None:
+        arena = _shared_memory.SharedMemory(name=arena_name)
+    cursor = 0
+    input_segments: Dict[str, Any] = {}
+    try:
+        while True:
+            idle_start = time.perf_counter_ns()
+            message = task_queue.get()
+            idle_ns = time.perf_counter_ns() - idle_start
+            if message is None:
+                break
+            try:
+                blob, raw = _run_worker_task(state, message, input_segments)
+            except BaseException:
+                result_queue.put(
+                    ("error", message[1], worker_id, traceback.format_exc())
+                )
+                continue
+            if arena is not None and cursor + len(blob) <= arena.size:
+                arena.buf[cursor : cursor + len(blob)] = blob
+                result_queue.put(
+                    ("shm", message[1], worker_id, cursor, len(blob), raw, idle_ns)
+                )
+                cursor += len(blob)
+            else:
+                result_queue.put(
+                    ("inline", message[1], worker_id, blob, raw, idle_ns)
+                )
+    finally:
+        for segment in input_segments.values():
+            segment.close()
+        if arena is not None:
+            arena.close()
 
 
 def _default_workers() -> int:
@@ -447,23 +557,32 @@ def _default_workers() -> int:
 #: than a few hundred units lose more to IPC than fan-out can recover.
 DEFAULT_SERIAL_FLOOR = 256.0
 
-#: Chunk divisor: aim for ~4 chunks per worker so stragglers still balance.
-CHUNKS_PER_WORKER = 4
+#: Per-worker result arena size.  Payload blobs for the workloads in this
+#: repo total well under a megabyte per job; blobs that do not fit fall
+#: back to inline queue messages, so the cap only affects wall-clock.
+DEFAULT_ARENA_BYTES = 8 << 20
+
+#: Seconds the driver waits on the results queue before checking whether
+#: any worker is still alive (deadlock insurance, not a deadline).
+_RESULT_POLL_SECONDS = 60.0
 
 
 class ParallelExecutor(Executor):
-    """Fan each job's tasks out to a per-job pool of ``workers`` processes.
+    """Fan each job's tasks out to ``workers`` long-lived forked processes.
 
     The engine brackets jobs with :meth:`begin_job` / :meth:`end_job`; the
-    fork-context pool is created lazily on the first phase that clears the
-    serial floor and reused for the rest of the job, so a job pays for at
-    most one pool fork (``driver.pool_forks`` ≤ jobs) instead of one per
-    phase.  Map inputs reach workers via copy-on-write fork inheritance;
-    reduce partitions (which only exist in the driver) ship with the
-    chunked task messages, wire-encoded.  Payloads come back in the slim
-    wire format; the engine replays them exactly as it would serial
-    payloads, so results are bit-for-bit identical to
-    :class:`SerialExecutor`.
+    fork-context workers are spawned lazily on the first phase that clears
+    the serial floor and reused for the rest of the job, so a job pays for
+    at most one fork generation (``driver.pool_forks`` ≤ jobs).  Map inputs
+    reach workers via copy-on-write fork inheritance.  Reduce partitions
+    (which only exist in the driver) are wire-encoded into one shared-memory
+    segment per phase; workers attach by name and read their slice, so the
+    task queue carries only small descriptors.  Result payloads come back
+    the same way through per-worker arenas.  Scheduling is pull-based:
+    workers take the next task (heaviest reduce unit first) whenever they
+    go idle, which is work stealing without any stealing protocol.  The
+    engine replays payloads exactly as it would serial ones, so results
+    are bit-for-bit identical to :class:`SerialExecutor`.
 
     Args:
         workers: worker processes (default: visible CPU count).
@@ -473,6 +592,11 @@ class ParallelExecutor(Executor):
             payload (``ipc_payload_raw_bytes``) — costs an extra pickle
             pass per task, so benches turn it on and production runs leave
             it off.
+        use_shared_memory: move bulk bytes through shared-memory segments
+            (default).  Off — or when segment creation fails at runtime —
+            every blob travels inline on the queues instead; results are
+            identical, only byte counters and wall-clock change.
+        arena_bytes: size of each worker's result arena.
 
     When process parallelism cannot help — no ``fork`` support, a single
     worker, or a phase with fewer than two tasks — tasks run in-process,
@@ -487,14 +611,22 @@ class ParallelExecutor(Executor):
         *,
         serial_floor: float = DEFAULT_SERIAL_FLOOR,
         profile_wire: bool = False,
+        use_shared_memory: bool = True,
+        arena_bytes: int = DEFAULT_ARENA_BYTES,
     ) -> None:
         if workers is not None and workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers if workers is not None else _default_workers()
         self.serial_floor = serial_floor
         self.profile_wire = profile_wire
+        self.use_shared_memory = use_shared_memory and _shared_memory is not None
+        self.arena_bytes = arena_bytes
         self._can_fork = "fork" in multiprocessing.get_all_start_methods()
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._procs: List[multiprocessing.Process] = []
+        self._task_queue = None
+        self._result_queue = None
+        self._arenas: List[Optional[Any]] = []
+        self._input_segment: Optional[Any] = None
         self._job_state: Optional[_JobState] = None
         self._phase_stats: Dict[str, int] = {}
         #: Cumulative statistics across every job this executor ran
@@ -509,9 +641,29 @@ class ParallelExecutor(Executor):
 
     def end_job(self) -> None:
         global _ACTIVE_JOB
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        if self._procs:
+            for _ in self._procs:
+                self._task_queue.put(None)
+            for proc in self._procs:
+                proc.join(timeout=10.0)
+            for proc in self._procs:
+                if proc.is_alive():  # pragma: no cover - crashed worker
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            self._procs = []
+        if self._task_queue is not None:
+            self._task_queue.close()
+            self._result_queue.close()
+            self._task_queue = None
+            self._result_queue = None
+        # Workers have exited (their attachments are closed); now — and
+        # only now — the driver destroys the segments it created.
+        for arena in self._arenas:
+            if arena is not None:
+                arena.close()
+                arena.unlink()
+        self._arenas = []
+        self._release_input_segment()
         if _ACTIVE_JOB is self._job_state:
             _ACTIVE_JOB = None
         self._job_state = None
@@ -540,14 +692,12 @@ class ParallelExecutor(Executor):
                 compute_map_task(job, split, task_id, cost_model)
                 for task_id, split in enumerate(splits)
             ]
-        pool = self._ensure_pool(state)
-        chunksize = self._chunksize(num_tasks)
+        self._ensure_workers(state)
         self._count("tasks_fanned", num_tasks)
-        self._count("chunks", -(-num_tasks // chunksize))
-        results = list(
-            pool.map(_worker_map_task, range(num_tasks), chunksize=chunksize)
-        )
-        return [self._decode(blob, raw, wire.decode_map_payload) for blob, raw in results]
+        order = list(range(num_tasks))
+        for task_id in order:
+            self._dispatch(("map", task_id))
+        return self._collect(order, wire.decode_map_payload)
 
     def run_reduce_phase(self, job, partitions, cost_model):
         state = self._ensure_job(job, None, cost_model)
@@ -563,32 +713,37 @@ class ParallelExecutor(Executor):
                 compute_reduce_task(job, items, task_id, cost_model)
                 for task_id, items in enumerate(partitions)
             ]
-        pool = self._ensure_pool(state)
-        # Dispatch heaviest partitions first: chunks are handed out in
-        # submission order, so on skewed inputs the giant partition starts
-        # immediately instead of queueing behind a chunk of light tasks.
-        # Payload contents are untouched; re-sorting by task id below
-        # restores the order the engine (and backend parity) requires.
-        order = sorted(
-            range(num_tasks), key=lambda t: (-len(partitions[t]), t)
-        )
+        self._ensure_workers(state)
+        # Enqueue heaviest partitions first: the queue is consumed in
+        # order, so on skewed inputs the giant partition (or its balance
+        # shards) starts immediately instead of behind light tasks.
+        # Payload contents are untouched; re-sorting by task id in
+        # ``_collect`` restores the order the engine requires.
+        order = sorted(range(num_tasks), key=lambda t: (-len(partitions[t]), t))
         if order != list(range(num_tasks)):
             self._count("reduce_skew_dispatch", 1)
-        tasks: List[Tuple[int, bytes]] = []
-        for task_id in order:
-            blob = wire.encode_records(partitions[task_id])
-            self._count("ipc_input_bytes", len(blob))
-            self._count("ipc_bytes", len(blob))
-            tasks.append((task_id, blob))
-        chunksize = self._chunksize(num_tasks)
+        blobs = {
+            task_id: wire.encode_records(partitions[task_id])
+            for task_id in order
+        }
+        segment = self._build_input_segment(blobs, order)
         self._count("tasks_fanned", num_tasks)
-        self._count("chunks", -(-num_tasks // chunksize))
-        results = list(pool.map(_worker_reduce_task, tasks, chunksize=chunksize))
-        payloads = [
-            self._decode(blob, raw, wire.decode_reduce_payload)
-            for blob, raw in results
-        ]
-        payloads.sort(key=lambda p: p.task_id)
+        if segment is None:
+            for task_id in order:
+                self._dispatch(("reduce", task_id, blobs[task_id]))
+        else:
+            offset = 0
+            for task_id in order:
+                length = len(blobs[task_id])
+                self._dispatch(
+                    ("reduce-shm", task_id, segment.name, offset, length)
+                )
+                offset += length
+        payloads = self._collect(order, wire.decode_reduce_payload)
+        # All partitions are consumed; drop the input segment before the
+        # engine snapshots the phase (workers keep their attachment until
+        # job end, which a POSIX unlink happily tolerates).
+        self._release_input_segment()
         return payloads
 
     # -- internals -----------------------------------------------------
@@ -609,27 +764,118 @@ class ParallelExecutor(Executor):
             and estimated_cost >= self.serial_floor
         )
 
-    def _chunksize(self, num_tasks: int) -> int:
-        return max(1, num_tasks // (CHUNKS_PER_WORKER * self.workers))
-
-    def _ensure_pool(self, state: _JobState) -> ProcessPoolExecutor:
-        """The job's pool, forked on first use with ``state`` inheritable."""
-        if self._pool is None:
-            global _ACTIVE_JOB
-            _ACTIVE_JOB = state
-            context = multiprocessing.get_context("fork")
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+    def _ensure_workers(self, state: _JobState) -> None:
+        """Spawn the job's workers on first use with ``state`` inheritable."""
+        if self._procs:
+            return
+        global _ACTIVE_JOB
+        _ACTIVE_JOB = state
+        context = multiprocessing.get_context("fork")
+        self._task_queue = context.Queue()
+        self._result_queue = context.Queue()
+        self._arenas = [self._create_segment(self.arena_bytes) for _ in range(self.workers)]
+        for worker_id in range(self.workers):
+            arena = self._arenas[worker_id]
+            proc = context.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    self._task_queue,
+                    self._result_queue,
+                    arena.name if arena is not None else None,
+                ),
+                daemon=True,
             )
-            self._count("pool_forks", 1)
-        return self._pool
+            proc.start()
+            self._procs.append(proc)
+        self._count("pool_forks", 1)
 
-    def _decode(self, blob: bytes, raw_size: int, decode):
-        self._count("ipc_payload_bytes", len(blob))
-        self._count("ipc_bytes", len(blob))
-        if raw_size:
-            self._count("ipc_payload_raw_bytes", raw_size)
-        return decode(blob)
+    def _create_segment(self, size: int):
+        """A fresh driver-owned shared-memory segment, or None (fallback)."""
+        if not self.use_shared_memory or size <= 0:
+            return None
+        try:
+            segment = _shared_memory.SharedMemory(create=True, size=size)
+        except OSError:  # pragma: no cover - no usable /dev/shm
+            return None
+        self._count("shm_segments", 1)
+        return segment
+
+    def _build_input_segment(self, blobs: Dict[int, bytes], order: List[int]):
+        """One segment holding every reduce partition blob, in queue order."""
+        total = sum(len(blobs[task_id]) for task_id in order)
+        segment = self._create_segment(total)
+        if segment is None:
+            return None
+        offset = 0
+        for task_id in order:
+            blob = blobs[task_id]
+            segment.buf[offset : offset + len(blob)] = blob
+            offset += len(blob)
+        self._count("shm_input_bytes", total)
+        self._input_segment = segment
+        return segment
+
+    def _release_input_segment(self) -> None:
+        if self._input_segment is not None:
+            self._input_segment.close()
+            self._input_segment.unlink()
+            self._input_segment = None
+
+    def _dispatch(self, message) -> None:
+        """Enqueue one task message, counting its descriptor bytes."""
+        size = len(pickle.dumps(message))
+        self._count("ipc_input_bytes", size)
+        self._count("ipc_bytes", size)
+        self._task_queue.put(message)
+
+    def _next_result(self):
+        while True:
+            try:
+                return self._result_queue.get(timeout=_RESULT_POLL_SECONDS)
+            except queue_module.Empty:  # pragma: no cover - crashed workers
+                if not any(proc.is_alive() for proc in self._procs):
+                    raise RuntimeError(
+                        "all parallel workers exited without delivering results"
+                    ) from None
+
+    def _collect(self, order: List[int], decode):
+        """Receive one result per dispatched task; payloads in task-id order.
+
+        ``steal_tasks`` counts tasks whose executing worker differs from
+        the one a static round-robin over the dispatch order would have
+        used — the work the pull queue moved to whoever was free.
+        """
+        workers = max(1, len(self._procs))
+        intended = {task_id: pos % workers for pos, task_id in enumerate(order)}
+        payloads = []
+        for _ in order:
+            result = self._next_result()
+            kind = result[0]
+            if kind == "error":
+                _, task_id, worker_id, trace = result
+                raise RuntimeError(
+                    f"parallel worker {worker_id} failed on task {task_id}:\n{trace}"
+                )
+            if kind == "shm":
+                _, task_id, worker_id, offset, length, raw, idle_ns = result
+                arena = self._arenas[worker_id]
+                blob = bytes(arena.buf[offset : offset + length])
+                self._count("shm_payload_bytes", length)
+            else:
+                _, task_id, worker_id, blob, raw, idle_ns = result
+            descriptor = len(pickle.dumps(result))
+            self._count("ipc_payload_bytes", descriptor)
+            self._count("ipc_bytes", descriptor)
+            self._count("payload_wire_bytes", len(blob))
+            if raw:
+                self._count("ipc_payload_raw_bytes", raw)
+            if worker_id != intended[task_id]:
+                self._count("steal_tasks", 1)
+            self._count("worker_idle_ms", idle_ns // 1_000_000)
+            payloads.append(decode(blob))
+        payloads.sort(key=lambda p: p.task_id)
+        return payloads
 
 
 #: Recognised backend names for :func:`make_executor` / the CLI.
@@ -641,16 +887,20 @@ def make_executor(
     workers: Optional[int] = None,
     *,
     profile_wire: bool = False,
+    use_shared_memory: bool = True,
 ) -> Executor:
     """Build an executor from a CLI-style backend name.
 
     ``profile_wire`` (process backend only) additionally measures the
-    plain-pickle baseline size of every payload for perf reporting.
+    plain-pickle baseline size of every payload for perf reporting;
+    ``use_shared_memory=False`` forces the inline-queue transport.
     """
     if backend == "serial":
         return SerialExecutor()
     if backend == "process":
-        return ParallelExecutor(workers, profile_wire=profile_wire)
+        return ParallelExecutor(
+            workers, profile_wire=profile_wire, use_shared_memory=use_shared_memory
+        )
     raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
 
 
@@ -659,6 +909,8 @@ __all__ = [
     "ReduceTaskPayload",
     "StatDeltas",
     "register_task_stat_source",
+    "register_job_reset_hook",
+    "run_job_reset_hooks",
     "compute_map_task",
     "compute_reduce_task",
     "group_by_key",
@@ -667,7 +919,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "DEFAULT_SERIAL_FLOOR",
-    "CHUNKS_PER_WORKER",
+    "DEFAULT_ARENA_BYTES",
     "BACKENDS",
     "make_executor",
 ]

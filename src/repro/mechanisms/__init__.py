@@ -1,6 +1,7 @@
 """Progressive mechanisms M: SN + hint, PSNM, popcorn stopping, exhaustive."""
 
 from .base import (
+    DEFAULT_BATCH_PAIRS,
     DistinctBudget,
     block_sort_key,
     Mechanism,
@@ -8,6 +9,7 @@ from .base import (
     ResolveStats,
     StopCondition,
     resolve_block,
+    set_default_batch_pairs,
     window_pairs_count,
 )
 from .full import FullResolution
@@ -30,4 +32,6 @@ __all__ = [
     "FullResolution",
     "HierarchyHint",
     "PopcornCondition",
+    "DEFAULT_BATCH_PAIRS",
+    "set_default_batch_pairs",
 ]

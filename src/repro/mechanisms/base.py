@@ -15,22 +15,61 @@ reducer and the Basic baseline: it walks the stream, lets the caller veto
 pairs (redundancy-free resolution / already-resolved-in-child checks),
 invokes the match function, charges comparison cost, and consults a
 pluggable stop condition after every comparison.
+
+The driver decides pairs in **batches** through
+:class:`~repro.similarity.batch.BatchMatcher` rather than one
+``matcher.is_match`` call at a time: it collects up to
+:data:`DEFAULT_BATCH_PAIRS` admitted pairs from the stream, decides them in
+one kernel call, then *replays* the outcomes in stream order — charging,
+counting, invoking callbacks and consulting the stop condition per pair
+exactly as the scalar loop did.  Decisions, charges and stop points are
+bit-identical; only wall-clock time changes.  Look-ahead into the stream is
+free in virtual time because every mechanism charges its ``CostA`` once up
+front and never per pair.  Two contracts make the replay safe:
+
+* ``should_resolve`` must be a pure function of the entity *pair* (the
+  in-repo vetoes — redundancy sets keyed by id pairs — are); the driver
+  additionally flushes the pending batch before admitting a pair whose id
+  pair already occurred in it, so a veto consulted at collection time can
+  never miss state an earlier occurrence of the *same pair* would have
+  written.
+* pair streams must not call ``charge`` per yielded pair (all in-repo
+  mechanisms front-load their cost; a stream that charged lazily would see
+  those charges reordered relative to comparison charges).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional, Protocol, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 from ..data.entity import Entity
 from ..mapreduce.clock import CostModel
+from ..similarity.batch import BatchMatcher
 from ..similarity.matchers import WeightedMatcher
 
 SortKey = Callable[[Entity], object]
 ChargeFn = Callable[[float], float]
 PairCallback = Callable[[Entity, Entity], None]
 ShouldResolve = Callable[[Entity, Entity], bool]
+
+#: Pairs decided per batch-kernel call.  Large enough to amortize the
+#: kernel's per-batch setup and trip its vectorized paths, small enough
+#: that stop-condition look-ahead stays cheap (a fired stop discards at
+#: most one batch of pulled-but-undecided pairs, which cost no virtual
+#: time).  Read at call time: set to ``1`` (via
+#: :func:`set_default_batch_pairs` or monkeypatching) to force the scalar
+#: per-pair path, e.g. in differential tests.
+DEFAULT_BATCH_PAIRS = 64
+
+
+def set_default_batch_pairs(width: int) -> None:
+    """Set the module-wide batch width (``<= 1`` forces the scalar path)."""
+    global DEFAULT_BATCH_PAIRS
+    if width < 1:
+        raise ValueError(f"batch width must be >= 1, got {width}")
+    DEFAULT_BATCH_PAIRS = width
 
 
 @dataclass
@@ -159,6 +198,7 @@ def resolve_block(
     stop: Optional[StopCondition] = None,
     on_resolved: Optional[Callable[[Entity, Entity, bool], None]] = None,
     pair_range: Optional[Tuple[int, int]] = None,
+    batch_pairs: Optional[int] = None,
 ) -> ResolveStats:
     """Resolve one block with mechanism M (shared driver).
 
@@ -183,6 +223,9 @@ def resolve_block(
             considered (load-balancing shards of oversized root blocks).
             Positions outside the range are free: no veto, no charge, no
             stats.  ``CostA`` is still charged by the stream itself.
+        batch_pairs: pairs decided per batch-kernel call (default: the
+            module-wide :data:`DEFAULT_BATCH_PAIRS`); ``<= 1`` selects the
+            scalar per-pair reference path.
 
     Returns:
         the final :class:`ResolveStats` of the block.
@@ -193,6 +236,75 @@ def resolve_block(
     if first < 0 or (last is not None and last < first):
         raise ValueError(f"invalid pair_range {pair_range!r}")
     stream = mechanism.pair_stream(entities, window, sort_key, charge, cost_model)
+    width = DEFAULT_BATCH_PAIRS if batch_pairs is None else batch_pairs
+
+    if width <= 1:
+        # Scalar reference path: one is_match per pair, kept verbatim as
+        # the oracle the batch path is differenced against.
+        position = -1
+        for e1, e2 in stream:
+            position += 1
+            if position < first:
+                continue
+            if last is not None and position >= last:
+                break
+            if should_resolve is not None and not should_resolve(e1, e2):
+                stats.skipped += 1
+                continue
+            charge(cost_model.compare * matcher.comparison_cost_factor(e1, e2))
+            is_dup = matcher.is_match(e1, e2)
+            stats.comparisons += 1
+            if is_dup:
+                stats.duplicates += 1
+                on_duplicate(e1, e2)
+            else:
+                stats.distincts += 1
+            if on_resolved is not None:
+                on_resolved(e1, e2, is_dup)
+            if condition.should_stop(stats, is_dup):
+                return stats
+        stats.exhausted = True
+        return stats
+
+    batcher = BatchMatcher(matcher)
+    # Pending entries in stream order: a pair to decide, or None for a
+    # vetoed position (replayed as a skip so stats interleave identically).
+    pending: List[Optional[Tuple[Entity, Entity]]] = []
+    to_decide: List[Tuple[Entity, Entity]] = []
+    batch_idents = set()
+
+    def _flush() -> bool:
+        """Decide and replay the pending batch; True when stop fired."""
+        if not pending:
+            return False
+        factors = batcher.cost_factors(to_decide)
+        decisions = batcher.decisions(to_decide)
+        index = 0
+        stopped = False
+        for entry in pending:
+            if entry is None:
+                stats.skipped += 1
+                continue
+            e1, e2 = entry
+            charge(cost_model.compare * factors[index])
+            is_dup = decisions[index]
+            index += 1
+            stats.comparisons += 1
+            if is_dup:
+                stats.duplicates += 1
+                on_duplicate(e1, e2)
+            else:
+                stats.distincts += 1
+            if on_resolved is not None:
+                on_resolved(e1, e2, is_dup)
+            if condition.should_stop(stats, is_dup):
+                stopped = True
+                break
+        pending.clear()
+        to_decide.clear()
+        batch_idents.clear()
+        return stopped
+
     position = -1
     for e1, e2 in stream:
         position += 1
@@ -200,21 +312,23 @@ def resolve_block(
             continue
         if last is not None and position >= last:
             break
+        ident = (e1.id, e2.id) if e1.id <= e2.id else (e2.id, e1.id)
+        if ident in batch_idents:
+            # The same pair again before the first occurrence was decided:
+            # flush so the veto below sees that decision's state updates.
+            if _flush():
+                return stats
         if should_resolve is not None and not should_resolve(e1, e2):
-            stats.skipped += 1
+            pending.append(None)
             continue
-        charge(cost_model.compare * matcher.comparison_cost_factor(e1, e2))
-        is_dup = matcher.is_match(e1, e2)
-        stats.comparisons += 1
-        if is_dup:
-            stats.duplicates += 1
-            on_duplicate(e1, e2)
-        else:
-            stats.distincts += 1
-        if on_resolved is not None:
-            on_resolved(e1, e2, is_dup)
-        if condition.should_stop(stats, is_dup):
-            return stats
+        pending.append((e1, e2))
+        to_decide.append((e1, e2))
+        batch_idents.add(ident)
+        if len(to_decide) >= width:
+            if _flush():
+                return stats
+    if _flush():
+        return stats
     stats.exhausted = True
     return stats
 
@@ -228,4 +342,6 @@ __all__ = [
     "resolve_block",
     "window_pairs_count",
     "SortKey",
+    "DEFAULT_BATCH_PAIRS",
+    "set_default_batch_pairs",
 ]

@@ -300,10 +300,11 @@ def format_perf_report(metrics: "MetricsRegistry") -> str:
 
     Renders the ``driver.*`` counters the executor drains into each phase
     snapshot (see ``Cluster._snapshot_phase``): task placement (fanned out
-    vs kept inline under the serial floor), dispatch chunks, wire bytes
-    crossing the worker boundary with the plain-pickle baseline they
-    replace, and wall-clock seconds per phase.  Footer lines aggregate pool
-    forks, the overall wire compression ratio, and matcher-cache traffic.
+    vs kept inline under the serial floor), work-stealing pulls, wire bytes
+    of the encoded payloads with the plain-pickle baseline they replace,
+    and wall-clock seconds per phase.  Footer lines aggregate pool forks,
+    the overall wire compression ratio, the shared-memory vs descriptor
+    byte split, work-stealing/idle totals, and matcher-cache traffic.
     """
     rows = []
     for snap in metrics.snapshots:
@@ -320,17 +321,27 @@ def format_perf_report(metrics: "MetricsRegistry") -> str:
     scope_width = max(scope_width, len("phase"))
     header = (
         f"{'phase':<{scope_width}}  {'backend':<8} {'tasks':>5} "
-        f"{'wall s':>8} {'fanned':>6} {'inline':>6} {'chunks':>6} "
+        f"{'wall s':>8} {'fanned':>6} {'inline':>6} {'steals':>6} "
         f"{'wire':>8} {'raw':>8} {'ratio':>6}"
     )
     lines.append(header)
     lines.append("-" * len(header))
     total_wire = total_raw = 0
+    total_descriptor = total_shm = 0
+    total_steals = total_idle_ms = 0
     for scope, extra, counters in rows:
-        wire = counters.get("driver.ipc_payload_bytes", 0)
+        wire = counters.get(
+            "driver.payload_wire_bytes",
+            counters.get("driver.ipc_payload_bytes", 0),
+        )
         raw = counters.get("driver.ipc_payload_raw_bytes", 0)
         total_wire += wire
         total_raw += raw
+        total_descriptor += counters.get("driver.ipc_bytes", 0)
+        total_shm += counters.get("driver.shm_input_bytes", 0)
+        total_shm += counters.get("driver.shm_payload_bytes", 0)
+        total_steals += counters.get("driver.steal_tasks", 0)
+        total_idle_ms += counters.get("driver.worker_idle_ms", 0)
         ratio = f"{raw / wire:5.1f}x" if wire else "     -"
         lines.append(
             f"{scope:<{scope_width}}  {str(extra.get('backend', '?')):<8} "
@@ -338,7 +349,7 @@ def format_perf_report(metrics: "MetricsRegistry") -> str:
             f"{extra.get('wall_seconds', 0.0):>8.3f} "
             f"{counters.get('driver.tasks_fanned', 0):>6} "
             f"{counters.get('driver.tasks_inline', 0):>6} "
-            f"{counters.get('driver.chunks', 0):>6} "
+            f"{counters.get('driver.steal_tasks', 0):>6} "
             f"{_fmt_bytes(wire):>8} {_fmt_bytes(raw):>8} {ratio:>6}"
         )
 
@@ -360,6 +371,16 @@ def format_perf_report(metrics: "MetricsRegistry") -> str:
             f"payload wire bytes: {_fmt_bytes(total_wire)} "
             f"(plain pickle {_fmt_bytes(total_raw)}, "
             f"{total_raw / total_wire:.1f}x smaller)"
+        )
+    if total_shm or total_descriptor:
+        lines.append(
+            f"transport: {_fmt_bytes(total_shm)} via shared memory, "
+            f"{_fmt_bytes(total_descriptor)} descriptors on queues"
+        )
+    if total_steals or total_idle_ms:
+        lines.append(
+            f"work stealing: {total_steals} steals, "
+            f"workers idle {total_idle_ms} ms total"
         )
     if hits or misses:
         lines.append(f"matcher cache: {hits} hits / {misses} misses")

@@ -1,5 +1,13 @@
 """Similarity kernels and the weighted-sum resolve/match function."""
 
+from .batch import (
+    BatchMatcher,
+    batch_cost_factors,
+    batch_is_match,
+    batch_kernel_counters,
+    batch_similarity,
+    reset_batch_kernel_counters,
+)
 from .edit_distance import (
     dp_cell_counters,
     edit_similarity,
@@ -39,4 +47,10 @@ __all__ = [
     "clear_similarity_cache",
     "dp_cell_counters",
     "reset_dp_cell_counters",
+    "BatchMatcher",
+    "batch_similarity",
+    "batch_is_match",
+    "batch_cost_factors",
+    "batch_kernel_counters",
+    "reset_batch_kernel_counters",
 ]

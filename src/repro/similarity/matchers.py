@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..data.entity import Entity
 from ..mapreduce.counters import Counters
-from ..mapreduce.executors import register_task_stat_source
+from ..mapreduce.executors import register_job_reset_hook, register_task_stat_source
 from .edit_distance import edit_similarity, levenshtein
 from .jaro import jaro_winkler
 from .tokens import qgram_jaccard, token_jaccard
@@ -155,6 +155,12 @@ def _matcher_stat_source() -> Dict[str, int]:
 
 
 register_task_stat_source("matcher", _matcher_stat_source)
+
+# A fresh memo per job: without this, the process-wide memo leaks across
+# back-to-back ExperimentRuns in one process and the per-run `matcher.*`
+# counters mostly describe earlier runs' warm cache.  Purely wall-clock —
+# virtual costs never consult the memo.
+register_job_reset_hook(clear_similarity_cache)
 
 
 @dataclass(frozen=True)

@@ -1,11 +1,13 @@
-"""The parallel runtime's plumbing: slim wire format, per-job pools,
-chunked dispatch, the adaptive serial floor, and worker stat deltas.
+"""The parallel runtime's plumbing: slim wire format, per-job worker
+generations, pull-based work stealing, shared-memory transport, the
+adaptive serial floor, and worker stat deltas.
 
 Cross-backend *result* parity lives in ``test_executor_parity.py``; these
 tests pin the mechanisms that make the process backend affordable — the
 payload encoding must be lossless and compact, a job must fork at most one
-pool, small phases must stay in-process, and worker-side matcher-cache
-statistics must ride home in the payloads.
+worker generation, bulk bytes must move through shared memory (descriptors
+only on the queues), small phases must stay in-process, and worker-side
+matcher-cache statistics must ride home in the payloads.
 """
 
 from __future__ import annotations
@@ -188,14 +190,41 @@ class TestPoolLifecycle:
         Cluster(2, executor=executor).run_job(_job(), _LINES[:4])
         assert executor.stats.get("pool_forks", 0) == 0
 
-    def test_chunked_dispatch_batches_tasks(self):
+    def test_work_stealing_queue_counters(self):
         executor = ParallelExecutor(2, serial_floor=0.0)
         Cluster(8, executor=executor).run_job(_job(), _LINES)
-        chunksize = executor._chunksize(8)
-        assert chunksize == max(1, 8 // (4 * 2))
-        # Two fanned phases of 8 tasks each -> ceil(8/chunksize) chunks per
-        # phase; chunking must never exceed one message per task.
-        assert 0 < executor.stats["chunks"] <= executor.stats["tasks_fanned"]
+        stats = executor.stats
+        assert stats["tasks_fanned"] > 0
+        # Steals are tasks that landed off their round-robin worker; they
+        # can never exceed the tasks that were dispatched at all.
+        assert 0 <= stats.get("steal_tasks", 0) <= stats["tasks_fanned"]
+        # Workers block on the shared queue between pulls; the counter must
+        # exist even when the phases drain instantly.
+        assert stats.get("worker_idle_ms", 0) >= 0
+
+    def test_shared_memory_carries_bulk_bytes(self):
+        executor = ParallelExecutor(2, serial_floor=0.0)
+        if not executor.use_shared_memory:
+            pytest.skip("platform without usable shared memory")
+        Cluster(8, executor=executor).run_job(_job(), _LINES)
+        stats = executor.stats
+        # Worker arenas plus one reduce-input segment per fanned reduce.
+        assert stats["shm_segments"] >= 3
+        assert stats["shm_input_bytes"] > 0
+        assert stats["shm_payload_bytes"] > 0
+        # The queues carry descriptors only: far fewer bytes than the wire
+        # blobs that moved through shared memory.
+        assert stats["ipc_payload_bytes"] < stats["payload_wire_bytes"]
+
+    def test_shared_memory_off_is_bit_identical(self):
+        shm = ParallelExecutor(2, serial_floor=0.0, use_shared_memory=True)
+        inline = ParallelExecutor(2, serial_floor=0.0, use_shared_memory=False)
+        a = Cluster(3, executor=shm).run_job(_job(), _LINES)
+        b = Cluster(3, executor=inline).run_job(_job(), _LINES)
+        assert job_fingerprint(a) == job_fingerprint(b)
+        assert inline.stats.get("shm_segments", 0) == 0
+        # Inline transport pays the blob bytes on the queue instead.
+        assert inline.stats["ipc_payload_bytes"] >= inline.stats["payload_wire_bytes"]
 
     def test_drain_stats_resets_phase_window(self):
         executor = ParallelExecutor(2, serial_floor=0.0)
