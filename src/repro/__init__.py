@@ -50,14 +50,12 @@ from .evaluation import (
     RecallCurve,
     RunResult,
     RunSpec,
-    make_cluster,
     quality,
     recall_curve,
     recall_speedup,
-    run_basic,
-    run_progressive,
     transitive_closure,
 )
+from .service import BatchReceipt, PairEvent, ResolverService, ResolverSession
 from .observability import MetricsRegistry, Tracer, write_chrome_trace
 from .mapreduce import Cluster, CostModel, MapReduceJob
 from .mechanisms import PSNM, FullResolution, PopcornCondition, SortedNeighborHint
@@ -131,10 +129,12 @@ __all__ = [
     "recall_curve",
     "quality",
     "recall_speedup",
-    "make_cluster",
-    "run_progressive",
-    "run_basic",
     "transitive_closure",
+    # service
+    "ResolverService",
+    "ResolverSession",
+    "BatchReceipt",
+    "PairEvent",
     # observability
     "Tracer",
     "MetricsRegistry",

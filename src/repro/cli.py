@@ -1,10 +1,13 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Subcommands cover the common workflows:
 
-* ``generate`` — write a synthetic dataset (with ground truth) to CSV;
+* ``generate`` — write a synthetic dataset (with ground truth) to CSV or JSONL;
 * ``run`` — resolve a dataset with one approach and print its recall curve;
-* ``compare`` — our approach versus the Basic baseline side by side.
+* ``compare`` — our approach versus the Basic baseline side by side;
+* ``serve`` — stream a JSONL entity file through the incremental
+  :class:`~repro.service.resolver.ResolverService` in batches;
+* ``submit`` — add one more batch to a saved service snapshot.
 
 Examples::
 
@@ -15,11 +18,15 @@ Examples::
     python -m repro run --family citeseer --size 1000 --trace trace.json --skew
     python -m repro compare --family books --size 800 --metrics metrics.json
     python -m repro run --family citeseer --size 1000 --fault-rate 0.1 --speculative
+    python -m repro generate --family citeseer --size 900 --out ds.jsonl
+    python -m repro serve --input ds.jsonl --batch-size 300 --snapshot-out state.json
+    python -m repro submit --snapshot state.json --input more.jsonl --print-pairs
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -33,7 +40,7 @@ from .core import (
     people_config,
     skewed_config,
 )
-from .data import Dataset, make_books, make_citeseer, make_people, make_skewed
+from .data import Dataset, Entity, make_books, make_citeseer, make_people, make_skewed
 from .data.profile import format_profile, profile_dataset, suggest_blocking_order
 from .evaluation import (
     ExperimentRun,
@@ -66,11 +73,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    gen = sub.add_parser("generate", help="write a synthetic dataset to CSV/JSONL")
     gen.add_argument("--family", choices=_FAMILIES, default="citeseer")
     gen.add_argument("--size", type=int, default=2000)
     gen.add_argument("--seed", type=int, default=7)
-    gen.add_argument("--out", required=True, help="output CSV path")
+    gen.add_argument(
+        "--out", required=True,
+        help="output path (.jsonl writes one entity object per line for "
+        "`serve`/`submit`; anything else writes CSV)",
+    )
 
     run = sub.add_parser("run", help="resolve a dataset progressively")
     _add_dataset_options(run)
@@ -110,6 +121,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "profile", help="profile a dataset's attributes and blocking keys"
     )
     _add_dataset_options(profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="stream a JSONL entity file through the incremental resolver",
+    )
+    serve.add_argument("--family", choices=_FAMILIES, default="citeseer")
+    serve.add_argument(
+        "--input", default="-",
+        help="JSONL entity stream, one {id, attrs...} object per line "
+        "('-' reads stdin; `generate --out x.jsonl` writes this format)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=200,
+        help="entities per submitted batch (a `batch` field in the input "
+        "overrides this grouping)",
+    )
+    serve.add_argument("--machines", type=int, default=4)
+    serve.add_argument(
+        "--min-family-matches", type=int, default=2,
+        help="key families that must agree before a pair is compared "
+        "(clamped to the scheme's family count)",
+    )
+    serve.add_argument(
+        "--snapshot-out", metavar="PATH", default=None,
+        help="write the final service snapshot as JSON (feed to `submit`)",
+    )
+    serve.add_argument(
+        "--print-pairs", action="store_true",
+        help="print every newly found pair as it is discovered",
+    )
+    _add_backend_options(serve)
+    _add_fault_options(serve)
+    _add_observability_options(serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one more batch to a saved resolver-service snapshot",
+    )
+    submit.add_argument("--family", choices=_FAMILIES, default="citeseer")
+    submit.add_argument(
+        "--snapshot", required=True, metavar="PATH",
+        help="service snapshot written by `serve --snapshot-out` (or a "
+        "previous `submit`)",
+    )
+    submit.add_argument("--input", default="-", help="JSONL batch to submit")
+    submit.add_argument("--machines", type=int, default=4)
+    submit.add_argument("--min-family-matches", type=int, default=2)
+    submit.add_argument(
+        "--snapshot-out", metavar="PATH", default=None,
+        help="where to write the updated snapshot (default: overwrite "
+        "--snapshot)",
+    )
+    submit.add_argument("--print-pairs", action="store_true")
+    _add_backend_options(submit)
+    _add_fault_options(submit)
+    _add_observability_options(submit)
     return parser
 
 
@@ -311,7 +378,13 @@ def _basic_config(family: str, window: int, threshold: Optional[float]) -> Basic
 
 def _command_generate(args: argparse.Namespace) -> int:
     dataset = _MAKERS[args.family](args.size, seed=args.seed)
-    dataset.to_csv(args.out)
+    if args.out.endswith(".jsonl"):
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for entity in dataset.entities:
+                row = {"id": entity.id, **entity.attrs}
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+    else:
+        dataset.to_csv(args.out)
     print(
         f"wrote {len(dataset)} {args.family} entities "
         f"({dataset.num_true_pairs} duplicate pairs) to {args.out}"
@@ -418,6 +491,149 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_jsonl_entities(path: str):
+    """[(explicit_batch_or_None, Entity)] from a JSONL stream ('-' = stdin)."""
+    handle = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    rows = []
+    try:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{lineno}: not valid JSON: {exc}")
+            if not isinstance(obj, dict) or "id" not in obj:
+                raise SystemExit(
+                    f"{path}:{lineno}: each line must be an object with an "
+                    "'id' field (and attribute fields, or a nested 'attrs')"
+                )
+            batch = obj.pop("batch", None)
+            attrs = obj.pop("attrs", None)
+            entity_id = int(obj.pop("id"))
+            if attrs is None:
+                attrs = obj
+            rows.append(
+                (batch, Entity(entity_id, {k: str(v) for k, v in attrs.items()}))
+            )
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    return rows
+
+
+def _batched_entities(rows, batch_size: int):
+    """Group parsed JSONL rows into submit batches.
+
+    Rows carrying an explicit ``batch`` field are grouped by it (ascending);
+    otherwise the stream is chunked every ``batch_size`` entities.
+    """
+    if any(batch is not None for batch, _ in rows):
+        by_batch = {}
+        for batch, entity in rows:
+            by_batch.setdefault(0 if batch is None else int(batch), []).append(entity)
+        return [by_batch[key] for key in sorted(by_batch)]
+    entities = [entity for _, entity in rows]
+    if batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {batch_size}")
+    return [
+        entities[start : start + batch_size]
+        for start in range(0, len(entities), batch_size)
+    ]
+
+
+def _build_service(args: argparse.Namespace, tracer, metrics):
+    from .service import ResolverService
+
+    return ResolverService(
+        _CONFIGS[args.family](),
+        machines=args.machines,
+        balance=args.balance,
+        min_family_matches=args.min_family_matches,
+        batch_pairs=args.batch_pairs,
+        backend=args.backend,
+        workers=args.workers,
+        tracer=tracer,
+        metrics=metrics,
+        faults=_fault_plan(args),
+    )
+
+
+def _print_receipt(receipt, print_pairs: bool) -> None:
+    print(
+        f"batch {receipt.batch}: +{receipt.added} entities, "
+        f"{receipt.affected_blocks} affected blocks, "
+        f"{receipt.comparisons} comparisons, "
+        f"{receipt.duplicates} new pairs, "
+        f"t=[{receipt.start_time:.1f}, {receipt.end_time:.1f}]"
+    )
+    if print_pairs:
+        for pair in receipt.pairs:
+            print(f"  pair {pair[0]} = {pair[1]}")
+
+
+def _print_service_summary(service) -> None:
+    stats = service.stats()
+    print(
+        f"service: {stats['entities']} entities in {stats['batches']} batches, "
+        f"{stats['blocks']} blocks, {stats['comparisons']} comparisons, "
+        f"{stats['found_pairs']} pairs in {stats['clusters']} clusters, "
+        f"virtual time {stats['virtual_time']:.1f}"
+    )
+
+
+def _write_service_snapshot(service, path: Optional[str]) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(service.snapshot(), handle)
+    print(f"snapshot written to {path}", file=sys.stderr)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    tracer, metrics = _observers(args)
+    service = _build_service(args, tracer, metrics)
+    batches = _batched_entities(_read_jsonl_entities(args.input), args.batch_size)
+    for batch in batches:
+        receipt = service.submit(batch)
+        _print_receipt(receipt, args.print_pairs)
+    _print_service_summary(service)
+    _write_service_snapshot(service, args.snapshot_out)
+    _write_observations(args, tracer, metrics)
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .service import ResolverService
+
+    tracer, metrics = _observers(args)
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    service = ResolverService.restore(
+        snapshot,
+        _CONFIGS[args.family](),
+        machines=args.machines,
+        balance=args.balance,
+        min_family_matches=args.min_family_matches,
+        batch_pairs=args.batch_pairs,
+        backend=args.backend,
+        workers=args.workers,
+        tracer=tracer,
+        metrics=metrics,
+        faults=_fault_plan(args),
+    )
+    entities = [entity for _, entity in _read_jsonl_entities(args.input)]
+    receipt = service.submit(entities)
+    _print_receipt(receipt, args.print_pairs)
+    _print_service_summary(service)
+    _write_service_snapshot(
+        service, args.snapshot_out if args.snapshot_out else args.snapshot
+    )
+    _write_observations(args, tracer, metrics)
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     profile = profile_dataset(dataset)
@@ -438,6 +654,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "profile":
         return _command_profile(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
     return _command_compare(args)
 
 

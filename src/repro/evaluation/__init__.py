@@ -8,9 +8,6 @@ from .experiment import (
     ExperimentRun,
     RunResult,
     RunSpec,
-    make_cluster,
-    run_basic,
-    run_progressive,
     sample_times,
 )
 from .metrics import (
@@ -41,9 +38,6 @@ __all__ = [
     "RunResult",
     "ExperimentRun",
     "CurveRun",
-    "make_cluster",
-    "run_progressive",
-    "run_basic",
     "sample_times",
     "RecallCurve",
     "recall_curve",

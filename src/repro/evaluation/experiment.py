@@ -1,10 +1,9 @@
 """Experiment harness: the unified run API behind the benchmarks and CLI.
 
-One entry point replaces the old ``make_cluster`` / ``run_progressive`` /
-``run_basic`` keyword sprawl: describe a run with a :class:`RunSpec`,
-execute it with :class:`ExperimentRun`, get a :class:`RunResult` back —
-the same shape for the progressive approach, its scheduler variants, and
-the Basic baseline.  Everything is seeded and deterministic::
+Describe a run with a :class:`RunSpec`, execute it with
+:class:`ExperimentRun`, get a :class:`RunResult` back — the same shape for
+the progressive approach, its scheduler variants, and the Basic baseline.
+Everything is seeded and deterministic::
 
     spec = RunSpec(dataset, citeseer_config(), machines=10)
     run = ExperimentRun(spec).run()
@@ -15,33 +14,37 @@ Attach a :class:`~repro.observability.Tracer` or
 recorded (see :mod:`repro.observability`); several specs may share one
 tracer — each run is labeled via ``begin_run``.
 
-The old helpers survive as thin deprecated wrappers.
+``ExperimentRun`` is a thin one-shot wrapper over the
+:class:`~repro.service.session.ResolverSession` seam — the same driver
+path the incremental :class:`~repro.service.resolver.ResolverService`
+uses, so batch experiments and streaming sessions share executor pools,
+balance strategies, fault plans and tracer plumbing.  (The pre-RunSpec
+``make_cluster`` / ``run_progressive`` / ``run_basic`` helpers, deprecated
+since PR 2, are gone — see the CHANGELOG.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import List, Optional, Set, Union
 
-from ..baselines.basic import BasicConfig, BasicER, BasicResult
+from ..baselines.basic import BasicConfig, BasicResult
+from ..core.balance import BALANCE_STRATEGIES
 from ..core.config import ApproachConfig
-from ..core.driver import ProgressiveER, ProgressiveResult
+from ..core.driver import ProgressiveResult
 from ..data.dataset import Dataset
 from ..data.entity import Pair
 from ..mapreduce.clock import CostModel
-from ..mapreduce.engine import Cluster
-from ..mapreduce.executors import Executor, make_executor
+from ..mapreduce.executors import BACKENDS, Executor
 from ..mapreduce.faults import FaultPlan
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracing import Tracer
-from ..similarity.matchers import similarity_cache_counters
-from .metrics import RecallCurve, recall_curve
+from ..service.session import PAPER_MAP_SLOTS, PAPER_REDUCE_SLOTS, ResolverSession
+from .metrics import RecallCurve
 
-#: Slots per machine of the paper's cluster (Section VI-A1).
-PAPER_MAP_SLOTS = 2
-PAPER_REDUCE_SLOTS = 2
+#: Tree schedulers of the progressive approach.
+SCHEDULE_STRATEGIES = ("ours", "nosplit", "lpt")
 
 
 @dataclass
@@ -53,8 +56,13 @@ class RunSpec:
     :class:`~repro.core.config.ApproachConfig` runs the progressive
     approach under ``strategy``.
 
+    Specs are validated at construction (see :meth:`validate`): strategy,
+    balance, backend and the numeric knobs are checked up front so a typo
+    fails with an actionable message instead of a deep-in-engine error.
+
     Attributes:
-        dataset: the dataset to resolve.
+        dataset: the dataset to resolve (``None`` is allowed for specs that
+            only configure a session, e.g. the incremental service).
         config: approach configuration (selects the approach, see above).
         machines: simulated cluster size (2 map + 2 reduce slots each).
         strategy: tree scheduler for the progressive approach — ``"ours"``,
@@ -76,9 +84,11 @@ class RunSpec:
             injecting seeded crashes, stragglers and speculative execution
             into every job of the run.  Deterministic and
             backend-independent; ``None`` (the default) runs fault-free.
+        batch_pairs: batched similarity-kernel width for this run (``None``
+            keeps the module default; ``1`` forces the scalar path).
     """
 
-    dataset: Dataset
+    dataset: Optional[Dataset]
     config: Union[ApproachConfig, BasicConfig]
     machines: int = 10
     strategy: str = "ours"
@@ -92,6 +102,75 @@ class RunSpec:
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
     faults: Optional[FaultPlan] = None
+    batch_pairs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "RunSpec":
+        """Reject incoherent specs with actionable messages.
+
+        Returns ``self`` so callers can chain:
+        ``ExperimentRun(spec.validate())``.  Runs automatically at
+        construction; call it again after mutating a spec in place.
+        """
+        problems: List[str] = []
+        if not isinstance(self.config, (ApproachConfig, BasicConfig)):
+            problems.append(
+                f"config must be an ApproachConfig or BasicConfig, got "
+                f"{type(self.config).__name__}"
+            )
+        if not isinstance(self.machines, int) or self.machines < 1:
+            problems.append(
+                f"machines must be a positive integer, got {self.machines!r}"
+            )
+        if self.strategy not in SCHEDULE_STRATEGIES:
+            problems.append(
+                f"unknown strategy {self.strategy!r}; pick one of "
+                f"{SCHEDULE_STRATEGIES}"
+            )
+        if self.balance not in BALANCE_STRATEGIES:
+            problems.append(
+                f"unknown balance strategy {self.balance!r}; pick one of "
+                f"{BALANCE_STRATEGIES}"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            problems.append(
+                f"unknown backend {self.backend!r}; pick one of {BACKENDS} "
+                "(or pass an explicit executor)"
+            )
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            problems.append(
+                f"workers must be a positive integer or None, got "
+                f"{self.workers!r}"
+            )
+        if self.batch_pairs is not None and (
+            not isinstance(self.batch_pairs, int) or self.batch_pairs < 1
+        ):
+            problems.append(
+                f"batch_pairs must be a positive integer or None, got "
+                f"{self.batch_pairs!r} (1 forces the scalar per-pair path)"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            problems.append(
+                f"faults must be a FaultPlan or None, got "
+                f"{type(self.faults).__name__}"
+            )
+        if (
+            isinstance(self.config, ApproachConfig)
+            and self.balance == "blocksplit"
+            and self.config.routing == "block"
+        ):
+            problems.append(
+                "balance='blocksplit' requires tree routing; the naive "
+                "block-routing mapper cannot replicate shard groups "
+                "(use routing='tree' or balance='slack')"
+            )
+        if problems:
+            raise ValueError("invalid RunSpec: " + "; ".join(problems))
+        return self
 
     @property
     def is_basic(self) -> bool:
@@ -155,80 +234,23 @@ CurveRun = RunResult
 
 
 class ExperimentRun:
-    """Executes one :class:`RunSpec` on a freshly built cluster.
+    """Executes one :class:`RunSpec` on a freshly built session.
 
-    Splitting construction from :meth:`run` keeps the expensive part
-    explicit and lets callers inspect :attr:`cluster` (or re-run the same
-    spec on a fresh cluster by constructing a new ``ExperimentRun``).
+    A thin one-shot wrapper over :class:`ResolverSession`: construction
+    builds the session (and its cluster — kept explicit so callers can
+    inspect :attr:`cluster`, or re-run the same spec on a fresh cluster by
+    constructing a new ``ExperimentRun``); :meth:`run` delegates to
+    :meth:`ResolverSession.run_one_shot`.
     """
 
     def __init__(self, spec: RunSpec) -> None:
         self.spec = spec
-        self.cluster = _build_cluster(spec)
+        self.session = ResolverSession(spec)
+        self.cluster = self.session.cluster
 
     def run(self) -> RunResult:
         """Execute the run and build its recall curve."""
-        spec = self.spec
-        label = spec.resolved_label()
-        if spec.tracer is not None:
-            spec.tracer.begin_run(label)
-        if spec.metrics is not None:
-            spec.metrics.begin_run(label)
-        if spec.is_basic:
-            result = BasicER(spec.config, self.cluster).run(spec.dataset)
-        else:
-            result = ProgressiveER(
-                spec.config,
-                self.cluster,
-                strategy=spec.strategy,
-                seed=spec.seed,
-                balance=spec.balance,
-            ).run(spec.dataset)
-        if spec.metrics is not None and getattr(result, "balance", None) is not None:
-            spec.metrics.snapshot(
-                "balance",
-                {
-                    f"balance.{name}": value
-                    for name, value in result.balance.counter_items().items()
-                },
-                strategy=result.balance.strategy,
-            )
-        if spec.metrics is not None:
-            # Driver-process matcher statistics at run end.  The memo is
-            # reset at every job start (see the job reset hooks), so this
-            # snapshot is scoped to the run's final job — it no longer leaks
-            # traffic from earlier runs in the same process.  Per-phase
-            # worker deltas are already aggregated into the phase snapshots
-            # (task payloads carry them home) and remain the complete view.
-            spec.metrics.snapshot("matcher", similarity_cache_counters())
-        curve = recall_curve(
-            result.duplicate_events, spec.dataset, end_time=result.total_time
-        )
-        return RunResult(
-            label=label,
-            curve=curve,
-            result=result,
-            spec=spec,
-            tracer=spec.tracer,
-            metrics=spec.metrics,
-        )
-
-
-def _build_cluster(spec: RunSpec) -> Cluster:
-    """A paper-shaped cluster configured from the spec."""
-    executor = spec.executor
-    if executor is None and spec.backend is not None:
-        executor = make_executor(spec.backend, spec.workers)
-    return Cluster(
-        spec.machines,
-        map_slots=PAPER_MAP_SLOTS,
-        reduce_slots=PAPER_REDUCE_SLOTS,
-        cost_model=spec.cost_model if spec.cost_model is not None else CostModel(),
-        executor=executor,
-        tracer=spec.tracer,
-        metrics=spec.metrics,
-        faults=spec.faults,
-    )
+        return self.session.run_one_shot()
 
 
 def sample_times(end_time: float, points: int = 12) -> List[float]:
@@ -238,92 +260,6 @@ def sample_times(end_time: float, points: int = 12) -> List[float]:
     return [end_time * (i + 1) / points for i in range(points)]
 
 
-# ---------------------------------------------------------------------------
-# Deprecated wrappers (the pre-RunSpec API)
-# ---------------------------------------------------------------------------
-
-
-def make_cluster(
-    machines: int,
-    *,
-    cost_model: Optional[CostModel] = None,
-    executor: Optional[Executor] = None,
-) -> Cluster:
-    """Deprecated: build :class:`~repro.mapreduce.engine.Cluster` directly
-    (its defaults are already paper-shaped), or use :class:`ExperimentRun`."""
-    warnings.warn(
-        "make_cluster() is deprecated; construct Cluster(machines) directly "
-        "or run experiments through ExperimentRun(RunSpec(...))",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return Cluster(
-        machines,
-        map_slots=PAPER_MAP_SLOTS,
-        reduce_slots=PAPER_REDUCE_SLOTS,
-        cost_model=cost_model if cost_model is not None else CostModel(),
-        executor=executor,
-    )
-
-
-def run_progressive(
-    dataset: Dataset,
-    config: ApproachConfig,
-    machines: int,
-    *,
-    strategy: str = "ours",
-    seed: int = 0,
-    label: Optional[str] = None,
-    cost_model: Optional[CostModel] = None,
-    executor: Optional[Executor] = None,
-) -> RunResult:
-    """Deprecated: use ``ExperimentRun(RunSpec(...)).run()``."""
-    warnings.warn(
-        "run_progressive() is deprecated; use ExperimentRun(RunSpec(...)).run()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return ExperimentRun(
-        RunSpec(
-            dataset,
-            config,
-            machines=machines,
-            strategy=strategy,
-            seed=seed,
-            label=label,
-            cost_model=cost_model,
-            executor=executor,
-        )
-    ).run()
-
-
-def run_basic(
-    dataset: Dataset,
-    config: BasicConfig,
-    machines: int,
-    *,
-    label: Optional[str] = None,
-    cost_model: Optional[CostModel] = None,
-    executor: Optional[Executor] = None,
-) -> RunResult:
-    """Deprecated: use ``ExperimentRun(RunSpec(...)).run()``."""
-    warnings.warn(
-        "run_basic() is deprecated; use ExperimentRun(RunSpec(...)).run()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return ExperimentRun(
-        RunSpec(
-            dataset,
-            config,
-            machines=machines,
-            label=label,
-            cost_model=cost_model,
-            executor=executor,
-        )
-    ).run()
-
-
 __all__ = [
     "RunSpec",
     "RunResult",
@@ -331,8 +267,6 @@ __all__ = [
     "CurveRun",
     "PAPER_MAP_SLOTS",
     "PAPER_REDUCE_SLOTS",
+    "SCHEDULE_STRATEGIES",
     "sample_times",
-    "make_cluster",
-    "run_progressive",
-    "run_basic",
 ]

@@ -1,0 +1,41 @@
+"""Session-oriented incremental entity resolution.
+
+:class:`ResolverService` is the streaming API over the batch machinery:
+submit entity batches, stream newly found pairs, query live clusters, and
+snapshot/restore the whole session.  :class:`ResolverSession` is the
+driver seam it shares with the one-shot
+:class:`~repro.evaluation.experiment.ExperimentRun`.
+"""
+
+from .delta import (
+    DeltaMapper,
+    DeltaPartitioner,
+    DeltaPlan,
+    DeltaReducer,
+    build_delta_job,
+    plan_delta,
+)
+from .resolver import (
+    BatchReceipt,
+    PairEvent,
+    ResolverService,
+    config_fingerprint,
+)
+from .session import ResolverSession, build_cluster
+from .store import EntityStore
+
+__all__ = [
+    "ResolverService",
+    "ResolverSession",
+    "BatchReceipt",
+    "PairEvent",
+    "EntityStore",
+    "DeltaPlan",
+    "DeltaMapper",
+    "DeltaPartitioner",
+    "DeltaReducer",
+    "plan_delta",
+    "build_delta_job",
+    "build_cluster",
+    "config_fingerprint",
+]

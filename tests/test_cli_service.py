@@ -1,0 +1,161 @@
+"""CLI tests for the incremental service: `serve` and `submit`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data import make_citeseer
+
+
+@pytest.fixture()
+def jsonl_file(tmp_path):
+    def write(name, entities, batch=None):
+        path = tmp_path / name
+        with open(path, "w", encoding="utf-8") as handle:
+            for entity in entities:
+                row = {"id": entity.id, **entity.attrs}
+                if batch is not None:
+                    row["batch"] = batch(entity)
+                handle.write(json.dumps(row) + "\n")
+        return path
+
+    return write
+
+
+@pytest.fixture(scope="module")
+def entities():
+    return make_citeseer(180, seed=3).entities
+
+
+class TestGenerateJsonl:
+    def test_jsonl_extension_switches_format(self, tmp_path, capsys):
+        out = tmp_path / "ds.jsonl"
+        assert main(
+            ["generate", "--family", "citeseer", "--size", "50", "--out", str(out)]
+        ) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 50
+        row = json.loads(lines[0])
+        assert "id" in row and "title" in row
+        assert "wrote 50" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_streams_batches_and_snapshots(self, tmp_path, jsonl_file, entities, capsys):
+        stream = jsonl_file("in.jsonl", entities)
+        snap = tmp_path / "state.json"
+        code = main(
+            [
+                "serve", "--input", str(stream), "--batch-size", "60",
+                "--machines", "2", "--snapshot-out", str(snap),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch 1:" in out and "batch 3:" in out
+        assert "service: 180 entities in 3 batches" in out
+        snapshot = json.loads(snap.read_text())
+        assert snapshot["batches"] == 3
+        assert len(snapshot["entities"]) == 180
+
+    def test_explicit_batch_field_overrides_chunking(self, jsonl_file, entities, capsys):
+        stream = jsonl_file(
+            "in.jsonl", entities[:90], batch=lambda e: e.id % 2
+        )
+        assert main(["serve", "--input", str(stream), "--machines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch 2:" in out and "batch 3:" not in out
+
+    def test_print_pairs_lists_discoveries(self, jsonl_file, entities, capsys):
+        stream = jsonl_file("in.jsonl", entities)
+        assert main(
+            ["serve", "--input", str(stream), "--machines", "2", "--print-pairs"]
+        ) == 0
+        assert "  pair " in capsys.readouterr().out
+
+    def test_trace_and_metrics_passthrough(self, tmp_path, jsonl_file, entities):
+        stream = jsonl_file("in.jsonl", entities[:80])
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            [
+                "serve", "--input", str(stream), "--machines", "2",
+                "--trace", str(trace), "--metrics", str(metrics),
+            ]
+        ) == 0
+        events = json.loads(trace.read_text())
+        assert any(e.get("name", "").startswith("delta-resolution") for e in events)
+        snapshots = json.loads(metrics.read_text())["snapshots"]
+        assert any("delta-resolution" in s["scope"] for s in snapshots)
+
+    def test_malformed_line_fails_with_location(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"id": 1, "title": "x"}\nnot-json\n')
+        with pytest.raises(SystemExit, match="bad.jsonl:2"):
+            main(["serve", "--input", str(bad), "--machines", "2"])
+
+    def test_missing_id_fails_with_location(self, tmp_path):
+        bad = tmp_path / "noid.jsonl"
+        bad.write_text('{"title": "x"}\n')
+        with pytest.raises(SystemExit, match="noid.jsonl:1"):
+            main(["serve", "--input", str(bad), "--machines", "2"])
+
+
+class TestSubmit:
+    def test_continues_from_snapshot_identically(
+        self, tmp_path, jsonl_file, entities, capsys
+    ):
+        first = jsonl_file("first.jsonl", entities[:120])
+        second = jsonl_file("second.jsonl", entities[120:])
+        snap = tmp_path / "state.json"
+        assert main(
+            [
+                "serve", "--input", str(first), "--batch-size", "120",
+                "--machines", "2", "--snapshot-out", str(snap),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["submit", "--snapshot", str(snap), "--input", str(second),
+             "--machines", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch 2:" in out
+        assert "service: 180 entities in 2 batches" in out
+
+        # The incremental CLI path ends at the same pair set as one serve.
+        updated = json.loads(snap.read_text())
+        whole = jsonl_file("whole.jsonl", entities)
+        one_snap = tmp_path / "one.json"
+        assert main(
+            [
+                "serve", "--input", str(whole), "--batch-size", "500",
+                "--machines", "2", "--snapshot-out", str(one_snap),
+            ]
+        ) == 0
+        one = json.loads(one_snap.read_text())
+        assert sorted(tuple(e["pair"]) for e in updated["events"]) == sorted(
+            tuple(e["pair"]) for e in one["events"]
+        )
+
+    def test_snapshot_out_leaves_original_untouched(
+        self, tmp_path, jsonl_file, entities, capsys
+    ):
+        first = jsonl_file("first.jsonl", entities[:100])
+        second = jsonl_file("second.jsonl", entities[100:140])
+        snap = tmp_path / "state.json"
+        main(
+            ["serve", "--input", str(first), "--machines", "2",
+             "--snapshot-out", str(snap)]
+        )
+        before = snap.read_text()
+        out_path = tmp_path / "state2.json"
+        assert main(
+            ["submit", "--snapshot", str(snap), "--input", str(second),
+             "--machines", "2", "--snapshot-out", str(out_path)]
+        ) == 0
+        assert snap.read_text() == before
+        assert json.loads(out_path.read_text())["batches"] == 2

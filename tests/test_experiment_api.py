@@ -1,20 +1,15 @@
 """Tests for the unified run API: RunSpec / ExperimentRun / RunResult,
-plus the deprecated pre-RunSpec wrappers."""
+plus construction-time spec validation."""
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
-from repro.evaluation import (
-    ExperimentRun,
-    RunResult,
-    RunSpec,
-    make_cluster,
-    run_basic,
-    run_progressive,
-)
+from repro.evaluation import ExperimentRun, RunResult, RunSpec
 from repro.evaluation.experiment import PAPER_MAP_SLOTS, PAPER_REDUCE_SLOTS
-from repro.mapreduce import CostModel, SerialExecutor
+from repro.mapreduce import FaultPlan, SerialExecutor
 
 
 class TestRunSpec:
@@ -105,29 +100,75 @@ class TestFoundPairsCaching:
         assert run.result.found_pairs is run.result.found_pairs
 
 
-class TestDeprecatedWrappers:
-    def test_make_cluster_warns_and_matches_new_path(self):
-        with pytest.warns(DeprecationWarning, match="make_cluster"):
-            cluster = make_cluster(5, cost_model=CostModel())
-        assert cluster.machines == 5
-        assert cluster.map_slots == PAPER_MAP_SLOTS
+class TestDeprecatedWrappersRemoved:
+    """The pre-RunSpec helpers were deleted after their deprecation cycle."""
 
-    def test_run_progressive_warns_and_delegates(self, citeseer_small, citeseer_cfg):
-        with pytest.warns(DeprecationWarning, match="run_progressive"):
-            old = run_progressive(citeseer_small, citeseer_cfg, 3, strategy="lpt")
-        new = ExperimentRun(
-            RunSpec(citeseer_small, citeseer_cfg, machines=3, strategy="lpt")
-        ).run()
-        assert old.label == new.label == "ours[lpt]"
-        assert old.found_pairs == new.found_pairs
-        assert old.total_time == new.total_time
+    def test_wrappers_are_gone(self):
+        import repro
+        import repro.evaluation
+        import repro.evaluation.experiment as experiment
 
-    def test_run_basic_warns_and_delegates(self, citeseer_small, basic_cfg):
-        with pytest.warns(DeprecationWarning, match="run_basic"):
-            old = run_basic(citeseer_small, basic_cfg, 3, label="b")
-        new = ExperimentRun(
-            RunSpec(citeseer_small, basic_cfg, machines=3, label="b")
-        ).run()
-        assert old.label == "b"
-        assert old.found_pairs == new.found_pairs
-        assert old.total_time == new.total_time
+        for module in (repro, repro.evaluation, experiment):
+            for name in ("make_cluster", "run_progressive", "run_basic"):
+                assert not hasattr(module, name), f"{module.__name__}.{name}"
+                assert name not in getattr(module, "__all__", ())
+
+
+class TestRunSpecValidation:
+    """Incoherent specs fail at construction with actionable messages."""
+
+    def test_valid_spec_passes_and_chains(self, citeseer_cfg):
+        spec = RunSpec(None, citeseer_cfg, machines=3, balance="blocksplit")
+        assert spec.validate() is spec
+
+    def test_unknown_balance_rejected(self, citeseer_cfg):
+        with pytest.raises(ValueError, match="balance.*'roundrobin'.*slack"):
+            RunSpec(None, citeseer_cfg, balance="roundrobin")
+
+    def test_unknown_strategy_rejected(self, citeseer_cfg):
+        with pytest.raises(ValueError, match="strategy 'greedy'"):
+            RunSpec(None, citeseer_cfg, strategy="greedy")
+
+    def test_unknown_backend_rejected(self, citeseer_cfg):
+        with pytest.raises(ValueError, match="backend 'threads'"):
+            RunSpec(None, citeseer_cfg, backend="threads")
+
+    def test_nonpositive_workers_rejected(self, citeseer_cfg):
+        with pytest.raises(ValueError, match="workers must be a positive"):
+            RunSpec(None, citeseer_cfg, backend="process", workers=0)
+
+    def test_negative_batch_pairs_rejected(self, citeseer_cfg):
+        with pytest.raises(ValueError, match="batch_pairs must be a positive"):
+            RunSpec(None, citeseer_cfg, batch_pairs=-4)
+
+    def test_nonpositive_machines_rejected(self, citeseer_cfg):
+        with pytest.raises(ValueError, match="machines must be a positive"):
+            RunSpec(None, citeseer_cfg, machines=0)
+
+    def test_wrong_config_type_rejected(self, citeseer_small):
+        with pytest.raises(ValueError, match="config must be an ApproachConfig"):
+            RunSpec(citeseer_small, {"scheme": None})
+
+    def test_wrong_faults_type_rejected(self, citeseer_cfg):
+        with pytest.raises(ValueError, match="faults must be a FaultPlan"):
+            RunSpec(None, citeseer_cfg, faults="chaos")
+        RunSpec(None, citeseer_cfg, faults=FaultPlan(seed=0))  # real plan OK
+
+    def test_blocksplit_needs_tree_routing(self, citeseer_cfg):
+        block_routed = dataclasses.replace(citeseer_cfg, routing="block")
+        with pytest.raises(ValueError, match="blocksplit.*tree routing"):
+            RunSpec(None, block_routed, balance="blocksplit")
+
+    def test_all_problems_reported_at_once(self, citeseer_cfg):
+        with pytest.raises(ValueError) as excinfo:
+            RunSpec(None, citeseer_cfg, machines=0, balance="nope", workers=-1)
+        message = str(excinfo.value)
+        assert "machines" in message
+        assert "balance" in message
+        assert "workers" in message
+
+    def test_validate_catches_post_construction_mutation(self, citeseer_cfg):
+        spec = RunSpec(None, citeseer_cfg)
+        spec.balance = "typo"
+        with pytest.raises(ValueError, match="balance"):
+            spec.validate()

@@ -1,0 +1,124 @@
+"""The differential oracle for the incremental service.
+
+N entities submitted in k batches must produce the identical final
+found-pair set as one batch run — across serial and process backends,
+with and without a fault plan, under every balance strategy.  Comparison
+counts must match too (the candidate predicate is partition-invariant, so
+slicing the stream never changes *what* is compared, only *when*).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import citeseer_config
+from repro.core.balance import BALANCE_STRATEGIES
+from repro.data import make_citeseer
+from repro.mapreduce import FaultPlan, RetryPolicy, SpeculationConfig
+from repro.service import ResolverService
+
+MACHINES = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_citeseer(240, seed=11)
+
+
+@pytest.fixture(scope="module")
+def reference(dataset):
+    """The one-shot run every incremental cell must reproduce."""
+    service = ResolverService(citeseer_config(), machines=MACHINES)
+    service.submit(dataset.entities)
+    return service
+
+
+def incremental(dataset, k, **kwargs):
+    kwargs.setdefault("machines", MACHINES)
+    service = ResolverService(citeseer_config(), **kwargs)
+    n = len(dataset.entities)
+    for i in range(k):
+        service.submit(dataset.entities[i * n // k : (i + 1) * n // k])
+    return service
+
+
+def fault_plan():
+    return FaultPlan(
+        seed=5,
+        fault_rate=0.15,
+        straggler_rate=0.2,
+        straggler_factor=3.0,
+        retry=RetryPolicy(),
+        speculation=SpeculationConfig(enabled=True),
+    )
+
+
+class TestBatchCountInvariance:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_k_batches_equal_one_shot(self, dataset, reference, k):
+        service = incremental(dataset, k)
+        assert service.found_pairs == reference.found_pairs
+        assert service.total_comparisons == reference.total_comparisons
+
+    def test_one_entity_at_a_time_prefix(self, dataset):
+        """Fully serial arrival over a prefix equals the prefix batch run."""
+        prefix = dataset.entities[:60]
+        drip = ResolverService(citeseer_config(), machines=MACHINES)
+        for entity in prefix:
+            drip.submit([entity])
+        batch = ResolverService(citeseer_config(), machines=MACHINES)
+        batch.submit(prefix)
+        assert drip.found_pairs == batch.found_pairs
+        assert drip.total_comparisons == batch.total_comparisons
+
+
+class TestBackendParity:
+    def test_process_backend_matches_serial(self, dataset, reference):
+        service = incremental(dataset, 3, backend="process", workers=2)
+        assert service.found_pairs == reference.found_pairs
+        serial = incremental(dataset, 3)
+        # Bit-identical virtual time, not just equal outputs.
+        assert service.clock == serial.clock
+        assert [r.end_time for r in service.receipts] == [
+            r.end_time for r in serial.receipts
+        ]
+
+
+class TestFaultParity:
+    def test_faults_stretch_time_but_not_output(self, dataset, reference):
+        faulty = incremental(dataset, 3, faults=fault_plan())
+        clean = incremental(dataset, 3)
+        assert faulty.found_pairs == reference.found_pairs
+        assert faulty.total_comparisons == clean.total_comparisons
+        assert faulty.clock > clean.clock
+
+    def test_faulty_process_equals_faulty_serial(self, dataset):
+        serial = incremental(dataset, 3, faults=fault_plan())
+        process = incremental(
+            dataset, 3, faults=fault_plan(), backend="process", workers=2
+        )
+        assert serial.found_pairs == process.found_pairs
+        assert serial.clock == process.clock
+
+
+class TestBalanceParity:
+    @pytest.mark.parametrize("balance", BALANCE_STRATEGIES)
+    def test_every_strategy_resolves_the_same_pairs(
+        self, dataset, reference, balance
+    ):
+        service = incremental(dataset, 4, balance=balance)
+        assert service.found_pairs == reference.found_pairs
+        assert service.total_comparisons == reference.total_comparisons
+
+
+class TestDeltaEfficiency:
+    def test_delta_comparisons_shrink_with_batch_size(self, dataset):
+        """A small batch against a warm store costs a fraction of the
+        one-shot resolve — the property BENCH_incremental.json quantifies."""
+        warm = ResolverService(citeseer_config(), machines=MACHINES)
+        warm.submit(dataset.entities[:220])
+        delta = warm.submit(dataset.entities[220:])
+        full = ResolverService(citeseer_config(), machines=MACHINES)
+        receipt = full.submit(dataset.entities)
+        assert warm.found_pairs == full.found_pairs
+        assert delta.comparisons < receipt.comparisons / 2

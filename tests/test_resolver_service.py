@@ -1,0 +1,255 @@
+"""Unit tests for the incremental ResolverService and its delta machinery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import citeseer_config, skewed_config
+from repro.data import Entity, make_citeseer, make_skewed
+from repro.service import ResolverService
+from repro.service.delta import block_weight, matching_families, plan_delta
+from repro.service.resolver import SNAPSHOT_FORMAT, config_fingerprint
+from repro.service.store import EntityStore, route_label
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_citeseer(300, seed=3)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return citeseer_config()
+
+
+def make_service(config, **kwargs):
+    kwargs.setdefault("machines", 3)
+    return ResolverService(config, **kwargs)
+
+
+class TestEntityStore:
+    def test_annotate_covers_every_family(self, dataset, config):
+        store = EntityStore(config.scheme)
+        keys = store.annotate(dataset.entities[0])
+        assert list(keys) == config.scheme.family_order
+
+    def test_admit_files_members_per_route(self, config):
+        store = EntityStore(config.scheme)
+        entity = Entity(1, {"title": "Query Optimization", "venue": "VLDB"})
+        store.admit([(entity, store.annotate(entity))], batch=1)
+        assert 1 in store
+        assert len(store) == 1
+        keys = store.get(1).keys
+        for family, key in keys.items():
+            if key is not None:
+                assert store.members((family, key)) == [1]
+
+    def test_double_admission_rejected(self, config):
+        store = EntityStore(config.scheme)
+        entity = Entity(7, {"title": "t"})
+        annotated = [(entity, store.annotate(entity))]
+        store.admit(annotated, batch=1)
+        with pytest.raises(ValueError, match="already admitted"):
+            store.admit(annotated, batch=2)
+
+
+class TestDeltaPlanning:
+    def test_block_weight_counts_fresh_pairs(self):
+        # ids 1,3 old; 5,9 new: fresh pairs are every pair minus (1,3).
+        members = [(1, False), (3, False), (5, True), (9, True)]
+        weights = block_weight(members)
+        assert sum(weights) == 6 - 1
+        assert weights[0] == 0  # first anchor has no partners
+
+    def test_matching_families_in_dominance_order(self):
+        a = {"X": "ab", "Y": None, "Z": "zz"}
+        b = {"X": "ab", "Y": "yy", "Z": "zz"}
+        assert matching_families(a, b, ("X", "Y", "Z")) == ["X", "Z"]
+        assert matching_families(a, b, ("Z", "Y", "X")) == ["Z", "X"]
+
+    def test_slack_keeps_whole_blocks(self):
+        affected = {("X", "aa"): [(1, True), (2, False), (3, False)]}
+        plan = plan_delta(affected, num_reduce_tasks=4, balance="slack")
+        label = route_label(("X", "aa"))
+        assert plan.routes[label] == (label,)
+        assert not plan.shards
+        assert plan.planned[label] == 2
+
+    def test_blocksplit_shards_oversized_blocks(self):
+        big = [(i, True) for i in range(40)]
+        small = [(100, True), (101, False)]
+        affected = {("X", "big"): big, ("X", "sm"): small}
+        plan = plan_delta(affected, num_reduce_tasks=4, balance="blocksplit")
+        big_label = route_label(("X", "big"))
+        assert len(plan.routes[big_label]) > 1
+        # Shards tile the anchor range [1, 40) without overlap.
+        ranges = sorted(plan.shards[s] for s in plan.routes[big_label])
+        assert ranges[0][0] == 1 and ranges[-1][1] == 40
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+        # Shard loads add up to the whole block's load.
+        assert sum(plan.planned[s] for s in plan.routes[big_label]) == sum(
+            block_weight(big)
+        )
+
+
+class TestSubmit:
+    def test_receipt_accounts_for_the_batch(self, dataset, config):
+        service = make_service(config)
+        receipt = service.submit(dataset.entities[:100])
+        assert receipt.batch == 1
+        assert receipt.added == 100
+        assert receipt.affected_blocks > 0
+        assert receipt.comparisons > 0
+        assert receipt.duplicates == len(receipt.pairs)
+        assert receipt.end_time > receipt.start_time == 0.0
+        assert service.total_entities == 100
+
+    def test_virtual_time_chains_across_batches(self, dataset, config):
+        service = make_service(config)
+        first = service.submit(dataset.entities[:100])
+        second = service.submit(dataset.entities[100:200])
+        assert second.start_time == first.end_time
+        assert service.clock == second.end_time
+
+    def test_duplicate_id_within_batch_rejected(self, config):
+        service = make_service(config)
+        with pytest.raises(ValueError, match="twice"):
+            service.submit([Entity(1, {"title": "a"}), Entity(1, {"title": "b"})])
+
+    def test_resubmitted_id_rejected(self, config):
+        service = make_service(config)
+        service.submit([Entity(1, {"title": "some title here"})])
+        with pytest.raises(ValueError, match="already submitted"):
+            service.submit([Entity(1, {"title": "another"})])
+
+    def test_non_entity_rejected(self, config):
+        service = make_service(config)
+        with pytest.raises(TypeError, match="Entity"):
+            service.submit([{"id": 1, "title": "a dict"}])
+
+    def test_basic_config_rejected(self, dataset, config):
+        from repro.baselines import BasicConfig
+        from repro.mechanisms import PSNM
+
+        basic = BasicConfig(
+            scheme=config.scheme, matcher=config.matcher, mechanism=PSNM()
+        )
+        with pytest.raises(TypeError, match="ApproachConfig"):
+            ResolverService(basic)
+
+    def test_empty_batch_is_a_noop(self, config):
+        service = make_service(config)
+        receipt = service.submit([])
+        assert receipt.added == 0
+        assert receipt.comparisons == 0
+        assert receipt.end_time == receipt.start_time
+        assert service.clock == 0.0
+
+    def test_unblocked_singleton_runs_no_job(self, config):
+        service = make_service(config)
+        receipt = service.submit([Entity(1, {"title": "unique title xq"})])
+        assert receipt.affected_blocks == 0
+        assert receipt.comparisons == 0
+
+
+class TestPairStream:
+    def test_seqs_are_contiguous_and_monotone(self, dataset, config):
+        service = make_service(config)
+        for start in range(0, 300, 100):
+            service.submit(dataset.entities[start : start + 100])
+        events = service.pairs()
+        assert [e.seq for e in events] == list(range(1, len(events) + 1))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        batches = [e.batch for e in events]
+        assert batches == sorted(batches)
+
+    def test_since_cursor_streams_only_news(self, dataset, config):
+        service = make_service(config)
+        first = service.submit(dataset.entities[:150])
+        cursor = first.last_seq
+        second = service.submit(dataset.entities[150:300])
+        fresh = service.pairs(since=cursor)
+        assert [e.pair for e in fresh] == list(second.pairs)
+        assert service.pairs(since=service.pairs()[-1].seq) == []
+
+    def test_negative_cursor_rejected(self, config):
+        with pytest.raises(ValueError, match=">= 0"):
+            make_service(config).pairs(since=-1)
+
+
+class TestClusterOf:
+    def test_found_pair_members_share_a_cluster(self, dataset, config):
+        service = make_service(config)
+        service.submit(dataset.entities)
+        a, b = next(iter(service.found_pairs))
+        cluster = service.cluster_of(a)
+        assert a in cluster and b in cluster
+        assert cluster == service.cluster_of(b)
+        assert cluster == tuple(sorted(cluster))
+
+    def test_isolated_entity_is_a_singleton(self, config):
+        service = make_service(config)
+        service.submit([Entity(5, {"title": "completely unique xyzzy"})])
+        assert service.cluster_of(5) == (5,)
+
+    def test_unknown_entity_raises(self, config):
+        with pytest.raises(KeyError, match="never submitted"):
+            make_service(config).cluster_of(123)
+
+
+class TestSnapshotRestore:
+    def test_round_trip_through_json(self, dataset, config):
+        service = make_service(config)
+        for start in range(0, 300, 150):
+            service.submit(dataset.entities[start : start + 150])
+        blob = json.dumps(service.snapshot())
+        restored = ResolverService.restore(
+            json.loads(blob), citeseer_config(), machines=3
+        )
+        assert restored.found_pairs == service.found_pairs
+        assert restored.clock == service.clock
+        assert restored.total_entities == service.total_entities
+        assert restored.total_comparisons == service.total_comparisons
+        assert [e.pair for e in restored.pairs()] == [
+            e.pair for e in service.pairs()
+        ]
+
+    def test_restored_service_keeps_resolving(self, dataset, config):
+        service = make_service(config)
+        service.submit(dataset.entities[:200])
+        restored = ResolverService.restore(
+            service.snapshot(), citeseer_config(), machines=3
+        )
+        service.submit(dataset.entities[200:300])
+        restored.submit(dataset.entities[200:300])
+        assert restored.found_pairs == service.found_pairs
+        assert restored.clock == service.clock
+
+    def test_unknown_format_rejected(self, config):
+        with pytest.raises(ValueError, match="snapshot format"):
+            ResolverService.restore({"format": SNAPSHOT_FORMAT + 1}, config)
+
+    def test_mismatched_config_rejected(self, dataset, config):
+        service = make_service(config)
+        service.submit(dataset.entities[:50])
+        snapshot = service.snapshot()
+        with pytest.raises(ValueError, match="different blocking scheme"):
+            ResolverService.restore(snapshot, skewed_config())
+
+    def test_fingerprint_tracks_min_family_matches(self, config):
+        assert config_fingerprint(config, 1) != config_fingerprint(config, 2)
+
+
+class TestSkewedSingleFamily:
+    """min_family_matches clamps so one-family schemes still resolve."""
+
+    def test_single_family_scheme_finds_pairs(self):
+        dataset = make_skewed(150, seed=3)
+        service = ResolverService(skewed_config(), machines=3)
+        assert service.min_family_matches == 1
+        service.submit(dataset.entities)
+        assert len(service.found_pairs) > 0
