@@ -55,6 +55,13 @@ from .evaluation import (
     recall_speedup,
     transitive_closure,
 )
+from .scheduling import (
+    AdmissionPolicy,
+    AdmissionReceipt,
+    JobScheduler,
+    SchedulerReport,
+    poisson_arrivals,
+)
 from .service import BatchReceipt, PairEvent, ResolverService, ResolverSession
 from .observability import MetricsRegistry, Tracer, write_chrome_trace
 from .mapreduce import Cluster, CostModel, MapReduceJob
@@ -135,6 +142,12 @@ __all__ = [
     "ResolverSession",
     "BatchReceipt",
     "PairEvent",
+    # scheduling
+    "JobScheduler",
+    "AdmissionPolicy",
+    "AdmissionReceipt",
+    "SchedulerReport",
+    "poisson_arrivals",
     # observability
     "Tracer",
     "MetricsRegistry",

@@ -7,7 +7,9 @@ Subcommands cover the common workflows:
 * ``compare`` — our approach versus the Basic baseline side by side;
 * ``serve`` — stream a JSONL entity file through the incremental
   :class:`~repro.service.resolver.ResolverService` in batches;
-* ``submit`` — add one more batch to a saved service snapshot.
+* ``submit`` — add one more batch to a saved service snapshot;
+* ``sched`` — multi-tenant scheduler demo: Poisson arrivals of resolver
+  batches from weighted tenants competing for shared slots.
 
 Examples::
 
@@ -54,10 +56,12 @@ from .evaluation.charts import ascii_chart
 from .mapreduce import BACKENDS, FaultPlan, RetryPolicy, SpeculationConfig
 from .mapreduce.executors import make_executor
 from .mechanisms import PSNM, SortedNeighborHint, set_default_batch_pairs
+from .scheduling import AdmissionPolicy, JobScheduler, poisson_arrivals
 from .observability import (
     MetricsRegistry,
     Tracer,
     format_perf_report,
+    format_sched_report,
     format_trace_summary,
     write_chrome_trace,
     write_trace_jsonl,
@@ -177,6 +181,44 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_backend_options(submit)
     _add_fault_options(submit)
     _add_observability_options(submit)
+
+    sched = sub.add_parser(
+        "sched",
+        help="multi-tenant scheduler demo: Poisson arrivals of resolver "
+        "batches competing for shared slots",
+    )
+    sched.add_argument("--family", choices=_FAMILIES, default="citeseer")
+    sched.add_argument("--size", type=int, default=240, help="total entities")
+    sched.add_argument("--seed", type=int, default=7)
+    sched.add_argument("--jobs", type=int, default=9, help="arrivals to draw")
+    sched.add_argument(
+        "--rate", type=float, default=0.02,
+        help="Poisson arrival rate (jobs per virtual time unit)",
+    )
+    sched.add_argument("--machines", type=int, default=4)
+    sched.add_argument("--policy", choices=("fair", "fifo"), default="fair")
+    sched.add_argument(
+        "--tenants", type=int, default=3,
+        help="number of tenants (weights 1..N, one service each)",
+    )
+    sched.add_argument(
+        "--interactive-fraction", type=float, default=0.3,
+        help="probability an arrival lands in the interactive lane",
+    )
+    sched.add_argument(
+        "--max-queued", type=int, default=None,
+        help="per-tenant cap on unfinished submissions (admission control)",
+    )
+    sched.add_argument(
+        "--max-active", type=int, default=None,
+        help="cluster-wide cap on concurrently running jobs",
+    )
+    sched.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="write the scheduler report (outcomes, tenants, percentiles) "
+        "as JSON",
+    )
+    _add_observability_options(sched)
     return parser
 
 
@@ -645,6 +687,75 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sched(args: argparse.Namespace) -> int:
+    """Drive the multi-tenant scheduler over a seeded Poisson trace.
+
+    Builds one :class:`~repro.service.ResolverService` per tenant
+    (weights 1..N), slices the synthetic dataset into one batch per
+    arrival, and submits each batch at its drawn arrival time and lane.
+    Everything is virtual time, so the same seed reproduces the same
+    report on every machine and backend.
+    """
+    from .service import ResolverService
+
+    if args.jobs <= 0:
+        print("--jobs must be positive", file=sys.stderr)
+        return 2
+    dataset = _MAKERS[args.family](args.size, seed=args.seed)
+    config = _CONFIGS[args.family]()
+    tracer, metrics = _observers(args)
+
+    tenants = [f"tenant-{i}" for i in range(args.tenants)]
+    scheduler = JobScheduler(
+        machines=args.machines,
+        policy=args.policy,
+        admission=AdmissionPolicy(
+            max_queued=args.max_queued, max_active=args.max_active
+        ),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    services = {}
+    for position, tenant in enumerate(tenants):
+        scheduler.add_tenant(tenant, weight=float(position + 1))
+        services[tenant] = ResolverService(
+            config,
+            machines=args.machines,
+            scheduler=scheduler,
+            tenant=tenant,
+            label=tenant,
+        )
+    trace = poisson_arrivals(
+        seed=args.seed,
+        rate=args.rate,
+        count=args.jobs,
+        tenants=tenants,
+        interactive_fraction=args.interactive_fraction,
+    )
+    chunk = max(1, len(dataset) // args.jobs)
+    for arrival in trace:
+        batch = dataset.entities[arrival.index * chunk:(arrival.index + 1) * chunk]
+        if not batch:
+            break
+        scheduler.submit_batch(
+            services[arrival.tenant],
+            batch,
+            arrival=arrival.time,
+            lane=arrival.lane,
+            label=f"job-{arrival.index}",
+        )
+    report = scheduler.run()
+    print(format_sched_report(report))
+    total_pairs = sum(len(s.found_pairs) for s in services.values())
+    print(f"\n{total_pairs} pairs found across {len(services)} tenant services")
+    if args.report_out is not None:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.report_out}", file=sys.stderr)
+    _write_observations(args, tracer, metrics)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -658,6 +769,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "submit":
         return _command_submit(args)
+    if args.command == "sched":
+        return _command_sched(args)
     return _command_compare(args)
 
 

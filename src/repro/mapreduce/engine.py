@@ -116,6 +116,14 @@ class Cluster:
             speculative execution into every job run on this cluster.
             Fault decisions replay from the seeded plan in the driver, so
             they are identical on every execution backend.
+        slot_broker: optional multi-tenant capacity broker (see
+            :mod:`repro.scheduling`).  When set, each phase checks its
+            slots out of a shared pool instead of building a private
+            :class:`SlotPool` — the broker decides *when* the phase may
+            start and *which* lane free-times it inherits, while task
+            computation and placement order are untouched.  ``None``
+            (the default) keeps the classic one-job-owns-the-cluster
+            timeline bit-identical to previous behaviour.
     """
 
     def __init__(
@@ -129,6 +137,7 @@ class Cluster:
         tracer: "Optional[Tracer]" = None,
         metrics: "Optional[MetricsRegistry]" = None,
         faults: Optional[FaultPlan] = None,
+        slot_broker: Optional[Any] = None,
     ) -> None:
         if machines <= 0:
             raise ValueError(f"machines must be positive, got {machines}")
@@ -140,6 +149,7 @@ class Cluster:
         self.tracer = tracer
         self.metrics = metrics
         self.faults = faults
+        self.slot_broker = slot_broker
 
     @property
     def num_map_tasks(self) -> int:
@@ -342,10 +352,12 @@ class Cluster:
         in task-id order, so the timeline never depends on the backend.
         """
         payloads = backend.run_map_phase(job, splits, self.cost_model)
-        pool = SlotPool(self.machines * self.map_slots, start_time)
+        pool = self._phase_pool(
+            job, "map", self.machines * self.map_slots, start_time
+        )
         schedules = self._fault_schedules(
             faults, job, "map", self.machines * self.map_slots, start_time,
-            payloads, counters,
+            payloads, counters, pool,
         )
         partitions: List[List[KeyValue]] = [[] for _ in range(n_red)]
         results: List[TaskResult] = []
@@ -415,6 +427,24 @@ class Cluster:
                 partitions[idx].append((key, value))
         return results, partitions
 
+    def _phase_pool(
+        self, job: MapReduceJob, phase: str, num_slots: int, ready_time: float
+    ) -> Any:
+        """The slot pool one phase places its tasks into.
+
+        Without a broker this is the classic private :class:`SlotPool`
+        (every slot free at phase start).  With a broker, the call
+        *blocks* until the multi-tenant scheduler dispatches this phase,
+        and the returned lease carries the shared lanes' current free
+        times — the phase queues behind other tenants' commitments
+        instead of pretending it owns an idle cluster.
+        """
+        if self.slot_broker is None:
+            return SlotPool(num_slots, ready_time)
+        return self.slot_broker.lease_phase(
+            kind=phase, job=job.name, ready_time=ready_time
+        )
+
     def _fault_schedules(
         self,
         faults: Optional[FaultPlan],
@@ -424,6 +454,7 @@ class Cluster:
         phase_start: float,
         payloads: Sequence[Any],
         counters: Counters,
+        pool: Any = None,
     ) -> Optional[List[TaskSchedule]]:
         """Simulate the phase under a fault plan; ``None`` without one.
 
@@ -431,13 +462,31 @@ class Cluster:
         resulting timeline is identical on every execution backend.  Fault
         statistics land in the ``fault.*`` counter namespace (only non-zero
         values are recorded, so an inert plan leaves counters untouched).
+
+        When ``pool`` is a multi-tenant lease, the simulator is seeded
+        with the shared lanes' current free times (and the grant-time
+        floor) and its final per-slot free times are committed back, so a
+        per-job fault plan stretches only this job's phase on the shared
+        timeline.  Crash decisions key on task ids and attempt ordinals —
+        never on absolute times — so the *number* of injected faults is
+        identical to a solo run of the same plan.
         """
         if faults is None:
             return None
-        scheduler = FaultScheduler(
-            faults, num_slots, phase_start, job=job.name, phase=phase
-        )
+        lanes = getattr(pool, "lane_free_times", None)
+        if lanes is None:
+            scheduler = FaultScheduler(
+                faults, num_slots, phase_start, job=job.name, phase=phase
+            )
+        else:
+            floor = max(phase_start, pool.floor)
+            scheduler = FaultScheduler(
+                faults, len(lanes), floor, job=job.name, phase=phase,
+                slot_free_times=lanes,
+            )
         schedules = scheduler.run([p.cost for p in payloads])
+        if lanes is not None:
+            pool.commit_fault(scheduler.final_free_times, schedules)
         stats = scheduler.stats
         for name, value in (
             ("failed_attempts", stats.failed_attempts),
@@ -595,10 +644,12 @@ class Cluster:
     ) -> tuple[List[TaskResult], List[OutputFile]]:
         """Run all reduce tasks; return task results and output files."""
         payloads = backend.run_reduce_phase(job, partitions, self.cost_model)
-        pool = SlotPool(self.machines * self.reduce_slots, phase_start)
+        pool = self._phase_pool(
+            job, "reduce", self.machines * self.reduce_slots, phase_start
+        )
         schedules = self._fault_schedules(
             faults, job, "reduce", self.machines * self.reduce_slots,
-            phase_start, payloads, counters,
+            phase_start, payloads, counters, pool,
         )
         results: List[TaskResult] = []
         all_files: List[OutputFile] = []

@@ -13,6 +13,7 @@ from .export import (
     TS_SCALE,
     chrome_trace_events,
     format_perf_report,
+    format_sched_report,
     format_trace_summary,
     trace_records,
     validate_chrome_trace,
@@ -38,4 +39,5 @@ __all__ = [
     "write_trace_jsonl",
     "format_trace_summary",
     "format_perf_report",
+    "format_sched_report",
 ]

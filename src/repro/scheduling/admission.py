@@ -1,0 +1,154 @@
+"""Admission control for the multi-tenant scheduler.
+
+Every submission passes through an :class:`AdmissionPolicy` **before** it
+can touch the shared timeline, and receives a typed
+:class:`AdmissionReceipt` recording the decision:
+
+``admitted``
+    a slot-pool run lane was free; the job enters the dispatch queue
+    immediately.
+``queued``
+    the cluster is at its concurrent-job cap (``max_active``); the job
+    waits in arrival order and starts when an earlier job's last phase
+    ends on the virtual timeline.
+``rejected``
+    the submission violates a hard cap — per-tenant queue depth
+    (``queue-full``) or per-tenant estimated-cost budget
+    (``over-budget``) — and never runs.  The receipt carries the
+    machine-readable ``reason`` so callers can implement back-off.
+
+Budgets are charged on *estimated* cost at admission time (the scheduler
+knows nothing better before running the job), mirroring how YARN-style
+capacity schedulers charge reservations rather than actuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Receipt decisions, in increasing order of severity.
+DECISIONS = ("admitted", "queued", "rejected")
+
+#: Machine-readable rejection reasons.
+REASON_QUEUE_FULL = "queue-full"
+REASON_OVER_BUDGET = "over-budget"
+
+
+@dataclass(frozen=True)
+class AdmissionReceipt:
+    """Typed outcome of one admission decision."""
+
+    decision: str
+    job: str
+    tenant: str
+    reason: Optional[str] = None
+    #: Estimated virtual cost charged against the tenant budget.
+    estimated_cost: float = 0.0
+    #: Jobs (admitted or queued) the tenant had pending at decision time.
+    queue_depth: int = 0
+
+    @property
+    def admitted(self) -> bool:
+        return self.decision == "admitted"
+
+    @property
+    def rejected(self) -> bool:
+        return self.decision == "rejected"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "decision": self.decision,
+            "job": self.job,
+            "tenant": self.tenant,
+            "reason": self.reason,
+            "estimated_cost": self.estimated_cost,
+            "queue_depth": self.queue_depth,
+        }
+
+
+@dataclass
+class AdmissionPolicy:
+    """Caps enforced at submit time.
+
+    Args:
+        max_queued: per-tenant cap on jobs that are submitted but not yet
+            finished; ``None`` disables the cap.
+        cost_budgets: per-tenant budget of *estimated* virtual cost; a
+            submission whose estimate would push the tenant's admitted
+            total past its budget is rejected.  Tenants without an entry
+            are unbudgeted.
+        max_active: cluster-wide cap on jobs running concurrently on the
+            shared timeline; excess admissions are ``queued`` (started at
+            the virtual time an active job completes), never rejected.
+    """
+
+    max_queued: Optional[int] = None
+    cost_budgets: Dict[str, float] = field(default_factory=dict)
+    max_active: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ValueError(f"max_queued must be >= 1, got {self.max_queued}")
+        if self.max_active is not None and self.max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {self.max_active}")
+        for tenant, budget in self.cost_budgets.items():
+            if budget < 0:
+                raise ValueError(
+                    f"cost budget for {tenant!r} must be >= 0, got {budget}"
+                )
+
+    def decide(
+        self,
+        *,
+        job: str,
+        tenant: str,
+        estimated_cost: float,
+        tenant_pending: int,
+        tenant_spent: float,
+        active_jobs: int,
+    ) -> AdmissionReceipt:
+        """Apply the caps in severity order: queue depth, budget, load."""
+        if self.max_queued is not None and tenant_pending >= self.max_queued:
+            return AdmissionReceipt(
+                "rejected",
+                job,
+                tenant,
+                reason=REASON_QUEUE_FULL,
+                estimated_cost=estimated_cost,
+                queue_depth=tenant_pending,
+            )
+        budget = self.cost_budgets.get(tenant)
+        if budget is not None and tenant_spent + estimated_cost > budget:
+            return AdmissionReceipt(
+                "rejected",
+                job,
+                tenant,
+                reason=REASON_OVER_BUDGET,
+                estimated_cost=estimated_cost,
+                queue_depth=tenant_pending,
+            )
+        if self.max_active is not None and active_jobs >= self.max_active:
+            return AdmissionReceipt(
+                "queued",
+                job,
+                tenant,
+                estimated_cost=estimated_cost,
+                queue_depth=tenant_pending,
+            )
+        return AdmissionReceipt(
+            "admitted",
+            job,
+            tenant,
+            estimated_cost=estimated_cost,
+            queue_depth=tenant_pending,
+        )
+
+
+__all__ = [
+    "DECISIONS",
+    "REASON_OVER_BUDGET",
+    "REASON_QUEUE_FULL",
+    "AdmissionPolicy",
+    "AdmissionReceipt",
+]

@@ -126,6 +126,15 @@ class ResolverService:
         backend / workers / executor / cost_model / tracer / metrics /
             faults: forwarded to the underlying session cluster, exactly
             as :class:`~repro.evaluation.experiment.RunSpec` takes them.
+        scheduler: optional
+            :class:`~repro.scheduling.scheduler.JobScheduler` this
+            service shares slots through.  The service is adopted under
+            ``tenant``; its delta jobs then place work on the
+            scheduler's shared timeline (immediately on direct
+            :meth:`submit` calls, or under fair-share dispatch when
+            batches go through ``scheduler.submit_batch``).
+        tenant: accounting tenant for scheduler slot usage (only
+            meaningful with ``scheduler``).
     """
 
     def __init__(
@@ -144,6 +153,8 @@ class ResolverService:
         metrics: Optional[Any] = None,
         faults: Optional[Any] = None,
         label: str = "service",
+        scheduler: Optional[Any] = None,
+        tenant: str = "service",
     ) -> None:
         if not isinstance(config, ApproachConfig):
             raise TypeError(
@@ -173,6 +184,10 @@ class ResolverService:
         )
         self.session = ResolverSession(self.spec)
         self.session.begin_run(label)
+        self.scheduler = scheduler
+        self.tenant = tenant
+        if scheduler is not None:
+            scheduler.adopt_service(self, tenant=tenant)
         self.store = EntityStore(config.scheme)
         self._events: List[PairEvent] = []
         self._found: Set[Pair] = set()

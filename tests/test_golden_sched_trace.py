@@ -1,0 +1,173 @@
+"""Golden-trace regression test for a fixed three-tenant schedule.
+
+A pinned Poisson arrival trace (three tenants, mixed interactive/batch
+lanes, an admission queue cap that rejects the tail) runs through
+:class:`JobScheduler`, and everything observable is reduced to a JSON
+shape: the decision log (job/kind/ready/dispatch plus candidate count),
+per-job outcomes, per-tenant usage, per-lane latency percentiles, the
+scheduler's trace-event shape (lease spans + admission instants) and the
+``sched`` metrics scope.  Virtual times are deterministic by contract
+(the determinism headline of the scheduler), so timestamps ARE part of
+the pinned shape here — any drift in dispatch order, fair-share
+accounting or lease settlement shows up as a readable JSON diff.
+
+The shape is stored in ``tests/fixtures/golden_sched_trace.json``.
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/test_golden_sched_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.mapreduce import MapReduceJob, Mapper, Reducer
+from repro.observability import MetricsRegistry, Tracer, chrome_trace_events
+from repro.scheduling import AdmissionPolicy, JobScheduler, poisson_arrivals
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_sched_trace.json"
+
+#: Pinned workload: ten bursty Poisson arrivals over three weighted
+#: tenants, ~40% interactive.  The admission policy is tuned so the trace
+#: exercises every decision: beta's fifth submission hits the queue cap
+#: (``queue-full``), gamma's later work blows its cost budget
+#: (``over-budget``), and the max-active cap queues the early burst.
+GOLDEN_SEED = 11
+GOLDEN_ARRIVALS = dict(
+    seed=GOLDEN_SEED,
+    rate=0.5,
+    count=10,
+    tenants=("acme", "beta", "gamma"),
+    tenant_weights=(3.0, 2.0, 1.0),
+    interactive_fraction=0.4,
+)
+GOLDEN_ADMISSION = AdmissionPolicy(
+    max_queued=4,
+    cost_budgets={"gamma": 20.0},
+    max_active=3,
+)
+
+_LINES = [
+    "progressive resolution of entities",
+    "map reduce over blocks",
+    "entities resolve in waves",
+    "blocks split by cost",
+]
+
+
+class _WordMapper(Mapper):
+    def map(self, record, context):
+        for word in record.split():
+            context.emit(word, 1)
+
+
+class _SumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.charge(0.5 * len(values))
+        context.write((key, sum(values)))
+
+
+def _golden_job(name):
+    return MapReduceJob(_WordMapper, _SumReducer, name=name, alpha=2.0)
+
+
+def build_golden_shape() -> dict:
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    metrics.begin_run("golden-sched")
+    scheduler = JobScheduler(
+        machines=2,
+        policy="fair",
+        admission=GOLDEN_ADMISSION,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    for tenant, weight in (("acme", 3.0), ("beta", 2.0), ("gamma", 1.0)):
+        scheduler.add_tenant(tenant, weight)
+    for arrival in poisson_arrivals(**GOLDEN_ARRIVALS):
+        records = _LINES * (1 + int(arrival.size_draw * 3))
+        scheduler.submit_job(
+            _golden_job(f"job-{arrival.index}"),
+            records,
+            tenant=arrival.tenant,
+            lane=arrival.lane,
+            arrival=arrival.time,
+            estimated_cost=float(len(records)),
+        )
+    report = scheduler.run()
+
+    decisions = [
+        {
+            "job": d["job"],
+            "tenant": d["tenant"],
+            "lane": d["lane"],
+            "kind": d["kind"],
+            "ready": round(d["ready"], 9),
+            "dispatch": round(d["dispatch"], 9),
+            "candidates": len(d["candidates"]),
+        }
+        for d in report.decisions
+    ]
+    trace_events = []
+    for event in chrome_trace_events(tracer):
+        args = event.get("args", {})
+        shape = {"name": event["name"], "ph": event["ph"], "tid": event["tid"]}
+        if "cat" in event:
+            shape["cat"] = event["cat"]
+        for key in ("tenant", "lane"):
+            if key in args:
+                shape[key] = args[key]
+        trace_events.append(shape)
+    trace_events.sort(key=lambda e: json.dumps(e, sort_keys=True))
+    sched_metrics = [
+        snapshot.as_dict() for snapshot in metrics.scoped("sched")
+    ]
+    return {
+        "decisions": decisions,
+        "outcomes": [o.to_dict() for o in report.outcomes],
+        "tenants": {usage.name: usage.to_dict() for usage in report.tenants},
+        "latency": {
+            lane: report.latency_percentiles(lane)
+            for lane in ("interactive", "batch")
+        },
+        "makespan": round(report.makespan, 9),
+        "queue_depth_peak": report.queue_depth_peak,
+        "trace_events": trace_events,
+        "metrics": sched_metrics,
+    }
+
+
+def test_golden_sched_trace_shape_is_stable():
+    assert FIXTURE.exists(), (
+        f"missing fixture {FIXTURE}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_sched_trace.py`"
+    )
+    expected = json.loads(FIXTURE.read_text())
+    actual = json.loads(json.dumps(build_golden_shape()))
+    assert actual["decisions"] == expected["decisions"]
+    assert actual["outcomes"] == expected["outcomes"]
+    assert actual["tenants"] == expected["tenants"]
+    assert actual == expected
+
+
+def test_golden_scenario_actually_exercises_the_scheduler():
+    """Guard against the fixture silently pinning a degenerate run."""
+    shape = build_golden_shape()
+    lanes = {d["lane"] for d in shape["decisions"]}
+    assert lanes == {"interactive", "batch"}, "workload must mix lanes"
+    assert len(shape["tenants"]) == 3
+    reasons = {o["reason"] for o in shape["outcomes"] if o["reason"]}
+    assert reasons == {"queue-full", "over-budget"}, (
+        f"trace must exercise both rejection reasons, got {reasons}"
+    )
+    assert any(o["decision"] == "queued" for o in shape["outcomes"])
+    finished = [o for o in shape["outcomes"] if o["finished_at"] is not None]
+    assert len(finished) >= 4
+    assert shape["queue_depth_peak"] >= 2, "arrivals must actually queue"
+
+
+if __name__ == "__main__":
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(build_golden_shape(), indent=2) + "\n")
+    print(f"wrote {FIXTURE}")
