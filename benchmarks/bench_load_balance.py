@@ -11,8 +11,11 @@ the differential suite pins that — so the only question is virtual time:
   simulated timeline?
 
 Acceptance: the best non-``slack`` strategy cuts the reduce-phase
-makespan by at least 1.5x at identical resolved output.  Results are
-recorded in ``BENCH_load_balance.json``.
+makespan by at least 1.5x at identical resolved output, and the global
+``pairrange`` beats its deprecated tree-granularity alias
+``pairrange-tree`` by at least 1.3x (whole-tree placement cannot split
+the hub block, so it stays hub-bound).  Results are recorded in
+``BENCH_load_balance.json``.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_load_balance.json"
 
 MACHINES = 3
 ACCEPT_SPEEDUP = 1.5
+ACCEPT_GLOBAL_OVER_TREE = 1.3
 
 
 def _reduce_span(run):
@@ -82,6 +86,14 @@ def test_load_balance_bench(skewed_dataset, skewed_cached_matcher, report):
     # Acceptance: the skew-aware strategies actually pay off on skew.
     assert speedups[best_strategy] >= ACCEPT_SPEEDUP, speedups
 
+    # Acceptance: global PairRange decisively beats the deprecated
+    # tree-granularity variant, which cannot split the hub block.
+    global_over_tree = (
+        entries["pairrange-tree"]["reduce_makespan"]
+        / entries["pairrange"]["reduce_makespan"]
+    )
+    assert global_over_tree >= ACCEPT_GLOBAL_OVER_TREE, global_over_tree
+
     payload = {
         "bench": "load_balance",
         "note": (
@@ -94,6 +106,8 @@ def test_load_balance_bench(skewed_dataset, skewed_cached_matcher, report):
         "speedups_vs_slack": speedups,
         "best_strategy": best_strategy,
         "acceptance_speedup": ACCEPT_SPEEDUP,
+        "pairrange_global_over_tree": global_over_tree,
+        "acceptance_global_over_tree": ACCEPT_GLOBAL_OVER_TREE,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -9,7 +9,9 @@ Subcommands cover the common workflows:
   :class:`~repro.service.resolver.ResolverService` in batches;
 * ``submit`` — add one more batch to a saved service snapshot;
 * ``sched`` — multi-tenant scheduler demo: Poisson arrivals of resolver
-  batches from weighted tenants competing for shared slots.
+  batches from weighted tenants competing for shared slots;
+* ``calibrate`` — fit the virtual cost model's constants to this host's
+  wall clock and print the error band of the fit.
 
 Examples::
 
@@ -23,12 +25,14 @@ Examples::
     python -m repro generate --family citeseer --size 900 --out ds.jsonl
     python -m repro serve --input ds.jsonl --batch-size 300 --snapshot-out state.json
     python -m repro submit --snapshot state.json --input more.jsonl --print-pairs
+    python -m repro calibrate --family citeseer --size 800 --out calibration.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -60,6 +64,7 @@ from .scheduling import AdmissionPolicy, JobScheduler, poisson_arrivals
 from .observability import (
     MetricsRegistry,
     Tracer,
+    format_calibration_report,
     format_perf_report,
     format_sched_report,
     format_trace_summary,
@@ -219,6 +224,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "as JSON",
     )
     _add_observability_options(sched)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit the cost model's virtual-unit prices to real wall clock",
+    )
+    calibrate.add_argument("--family", choices=_FAMILIES, default="citeseer")
+    calibrate.add_argument("--size", type=int, default=800)
+    calibrate.add_argument("--seed", type=int, default=7)
+    calibrate.add_argument("--machines", type=int, default=4)
+    calibrate.add_argument(
+        "--repeats", type=int, default=1,
+        help="run the workload this many times and fit over all tasks "
+        "(more samples, steadier fit)",
+    )
+    calibrate.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the calibration report (fitted constants, error band) "
+        "as JSON",
+    )
+    _add_backend_options(calibrate)
+    calibrate.set_defaults(backend="process")
     return parser
 
 
@@ -250,8 +276,11 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         default="slack",
         help="load-balancing post-pass over the progressive schedule: "
         "`slack` (paper baseline), `blocksplit` (shard oversized root "
-        "blocks into pair ranges), `pairrange` (contiguous cost ranges); "
-        "resolved output is identical across strategies",
+        "blocks, LPT placement), `pairrange` (global PairRange: cut the "
+        "whole estimated pair stream into equal contiguous ranges, "
+        "splitting blocks where cuts land), `pairrange-tree` (deprecated "
+        "tree-granularity variant); resolved output is identical across "
+        "strategies",
     )
     parser.add_argument(
         "--batch-pairs",
@@ -687,6 +716,52 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_calibrate(args: argparse.Namespace) -> int:
+    """Fit the cost model's virtual-unit prices to this host's wall clock.
+
+    Runs the progressive approach on a synthetic workload (the process
+    backend by default, so tasks execute in real worker processes), pools
+    every task's recorded wall time and charge profile, and fits
+    seconds-per-virtual-unit prices by least squares.  The printed report
+    includes the fitted CostModel ratios this machine implies and the
+    median-APE error band; nothing feeds back into virtual time.
+    """
+    from .core import calibration_report, fit_cost_model, task_samples
+
+    dataset = _MAKERS[args.family](args.size, seed=args.seed)
+    config = _CONFIGS[args.family]()
+    repeats = max(1, args.repeats)
+    samples = []
+    for _ in range(repeats):
+        spec = _run_spec(args, config, dataset=dataset)
+        run = ExperimentRun(spec).run()
+        samples.extend(task_samples([run.result.job1, run.result.job2]))
+    try:
+        fit = fit_cost_model(samples)
+    except ValueError as exc:
+        print(f"calibration failed: {exc}", file=sys.stderr)
+        return 2
+    workers = args.workers or os.cpu_count() or 1
+    report = calibration_report(
+        fit,
+        workload={
+            "family": args.family,
+            "size": args.size,
+            "seed": args.seed,
+            "machines": args.machines,
+            "repeats": repeats,
+        },
+        workers=workers if args.backend == "process" else 1,
+        backend=args.backend,
+    )
+    print(format_calibration_report(report))
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"calibration report written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _command_sched(args: argparse.Namespace) -> int:
     """Drive the multi-tenant scheduler over a seeded Poisson trace.
 
@@ -771,6 +846,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_submit(args)
     if args.command == "sched":
         return _command_sched(args)
+    if args.command == "calibrate":
+        return _command_calibrate(args)
     return _command_compare(args)
 
 

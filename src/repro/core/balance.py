@@ -17,9 +17,16 @@ generated :class:`~repro.core.schedule.ProgressiveSchedule`:
   (``full=True``), so its output is independent of where the stream is
   cut, while a non-root's :class:`~repro.mechanisms.base.DistinctBudget`
   stop condition depends on stream order and must never be sharded;
-* **``pairrange``** — trees keep their internal structure but are placed
-  by contiguous global cost ranges (canonical uid order), the tree-granular
-  analogue of Kolb's PairRange enumeration;
+* **``pairrange``** — Kolb's *global* PairRange enumeration: the estimated
+  pair stream of every full root block is laid out on one cumulative cost
+  axis (canonical uid order), the axis is cut into ``num_tasks`` equal
+  contiguous ranges, and any block a cut lands inside is split there into
+  :class:`BlockShard` slices — so per-task loads are near-uniform no
+  matter how skewed individual blocks are, with no oversize threshold;
+* **``pairrange-tree``** — deprecated alias for the pre-global version:
+  whole trees placed by contiguous cost ranges.  It cannot split a block,
+  so a single hot block still bounds the makespan; kept only so existing
+  configs keep running (prefer ``pairrange``);
 * **``slack``** — the paper baseline: the schedule is left untouched and
   only the skew report is computed.
 
@@ -40,7 +47,9 @@ from ..mechanisms.base import window_pairs_count
 from .schedule import ProgressiveSchedule, build_block_orders, recompute_sequence
 
 #: Recognised placement strategies (CLI ``--balance`` / ``RunSpec.balance``).
-BALANCE_STRATEGIES = ("slack", "blocksplit", "pairrange")
+#: ``pairrange-tree`` is a deprecated alias for the old tree-granularity
+#: placement; ``pairrange`` is the faithful global enumeration.
+BALANCE_STRATEGIES = ("slack", "blocksplit", "pairrange", "pairrange-tree")
 
 #: Separator inside shard routing keys; never appears in block uids.
 SHARD_SEP = "\x1f"
@@ -235,7 +244,9 @@ def apply_balance(
     if strategy == "blocksplit":
         shards, split_blocks, moved = _apply_blocksplit(schedule)
     elif strategy == "pairrange":
-        moved = _apply_pairrange(schedule)
+        shards, split_blocks, moved = _apply_pairrange(schedule)
+    elif strategy == "pairrange-tree":
+        moved = _apply_pairrange_tree(schedule)
     after = skew_report(schedule)
     return BalancePlan(
         strategy=strategy,
@@ -269,18 +280,120 @@ def _subtree_costs(schedule: ProgressiveSchedule) -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
-# pairrange: contiguous global cost ranges at tree granularity
+# pairrange: global enumeration of the pair stream, cut into equal ranges
 # ---------------------------------------------------------------------------
 
 
-def _apply_pairrange(schedule: ProgressiveSchedule) -> int:
-    """Reassign trees to tasks by contiguous cost ranges.
+def _apply_pairrange(
+    schedule: ProgressiveSchedule,
+) -> Tuple[Tuple[BlockShard, ...], Tuple[str, ...], int]:
+    """Faithful global PairRange (Kolb, Thor & Rahm).
+
+    The estimated pair stream of *all* full root blocks is enumerated on
+    one cumulative cost axis in canonical uid order: each tree contributes
+    its non-splittable lump (children plus the root's setup cost) followed
+    by the root's comparison span spread uniformly over its raw pair
+    stream.  The axis is cut at ``t * total / num_tasks``; a cut that
+    lands inside a block's span splits the block there into contiguous
+    :class:`BlockShard` slices — no oversize threshold gates the split,
+    any block a cut crosses is split, exactly as in the paper's PairRange.
+    Every work unit then lands on the task whose range contains its
+    midpoint, so per-task loads are near-uniform regardless of skew (max
+    load exceeds the mean by at most one unit's residual cost).
+
+    Shard 0 rides home with the tree's lump — children memberships are
+    derived from the home task's buffered entities — so the home unit is
+    the contiguous axis interval ``[tree start, end of shard 0)``.
+    """
+    num_tasks = schedule.num_tasks
+    tree_costs = _subtree_costs(schedule)
+    total = sum(tree_costs.values())
+    if total <= 0 or num_tasks < 1:
+        return (), (), 0
+    cuts = [total * t / num_tasks for t in range(1, num_tasks)]
+
+    def task_of(midpoint: float) -> int:
+        return min(num_tasks - 1, int(midpoint * num_tasks / total))
+
+    home_tasks: Dict[str, int] = {}
+    shards_of_tree: Dict[str, List[BlockShard]] = {}
+    shard_tasks: Dict[str, int] = {}
+    all_shards: List[BlockShard] = []
+    axis = 0.0
+    for uid in sorted(schedule.trees):
+        root = schedule.trees[uid]
+        estimate = schedule.estimates[uid]
+        tree_start = axis
+        axis += tree_costs[uid]
+        span = max(0.0, estimate.cost - estimate.cost_a)
+        total_pairs = window_pairs_count(root.size, estimate.window)
+        # Only full=True roots may be cut: their output is independent of
+        # where the stream splits (resolved to exhaustion), while a
+        # DistinctBudget stop depends on stream order.
+        if not (estimate.full and total_pairs >= 2 and span > 0.0):
+            home_tasks[uid] = task_of(tree_start + tree_costs[uid] / 2.0)
+            continue
+        span_start = axis - span
+        per_pair = span / total_pairs
+        interior = sorted({
+            min(total_pairs - 1,
+                max(1, int(round((cut - span_start) / per_pair))))
+            for cut in cuts
+            if span_start + _EPS < cut < axis - _EPS
+        })
+        if not interior:
+            home_tasks[uid] = task_of(tree_start + tree_costs[uid] / 2.0)
+            continue
+        bounds = [0, *interior, total_pairs]
+        num_shards = len(bounds) - 1
+        shards = []
+        for index in range(num_shards):
+            start, stop = bounds[index], bounds[index + 1]
+            shards.append(
+                BlockShard(
+                    key=shard_key(uid, index),
+                    block_uid=uid,
+                    tree_uid=uid,
+                    index=index,
+                    num_shards=num_shards,
+                    start=start,
+                    stop=stop,
+                    cost=estimate.cost_a + per_pair * (stop - start),
+                )
+            )
+        shards_of_tree[uid] = shards
+        all_shards.extend(shards)
+        home_end = span_start + per_pair * bounds[1]
+        home_tasks[uid] = task_of((tree_start + home_end) / 2.0)
+        for index in range(1, num_shards):
+            mid = span_start + per_pair * (bounds[index] + bounds[index + 1]) / 2.0
+            shard_tasks[shards[index].key] = task_of(mid)
+
+    moved = _install_placement(
+        schedule, home_tasks, shards_of_tree, shard_tasks, all_shards
+    )
+    return tuple(all_shards), tuple(sorted(shards_of_tree)), moved
+
+
+# ---------------------------------------------------------------------------
+# pairrange-tree: contiguous global cost ranges at tree granularity
+# ---------------------------------------------------------------------------
+
+
+def _apply_pairrange_tree(schedule: ProgressiveSchedule) -> int:
+    """Reassign whole trees to tasks by contiguous cost ranges.
+
+    .. deprecated::
+        This is the pre-global ``pairrange``, kept as the
+        ``pairrange-tree`` alias.  Trees keep their internal structure, so
+        a single oversized block still bounds the makespan — prefer the
+        global ``pairrange`` (or ``blocksplit``) which can split blocks.
 
     Trees are enumerated in canonical uid order; the cumulative cost axis
     is cut into ``num_tasks`` equal ranges and each tree lands on the
     range containing its midpoint.  Helps multi-tree skew (many mid-sized
-    trees stacked on one task); cannot help a single oversized tree —
-    that is ``blocksplit``'s job (see the strategy table in the docs).
+    trees stacked on one task) and stays compatible with block routing
+    because it never creates shards.
     """
     costs = _subtree_costs(schedule)
     order = sorted(schedule.trees)
@@ -339,43 +452,65 @@ def _apply_blocksplit(
         units.extend((shard.key, shard.cost) for shard in shards[1:])
 
     placement = place_units(units, num_tasks)
+    home_tasks = {uid: placement[uid] for uid in schedule.trees}
+    shard_tasks = {
+        shard.key: placement[shard.key]
+        for shards in shards_of_tree.values()
+        for shard in shards[1:]
+    }
+    moved = _install_placement(
+        schedule, home_tasks, shards_of_tree, shard_tasks, all_shards
+    )
+    split = tuple(sorted(shards_of_tree))
+    return tuple(all_shards), split, moved
 
+
+def _install_placement(
+    schedule: ProgressiveSchedule,
+    home_tasks: Dict[str, int],
+    shards_of_tree: Dict[str, List[BlockShard]],
+    shard_tasks: Dict[str, int],
+    all_shards: List[BlockShard],
+) -> int:
+    """Write a placement back into the schedule (shared by ``blocksplit``
+    and global ``pairrange``): assignment, shard table, per-task block
+    orders with shard 0 spliced into the tree's home order and remote
+    shards leading their task, and the recomputed resolution sequence.
+    Returns how many trees changed home task."""
+    num_tasks = schedule.num_tasks
     moved = 0
     new_assignment: Dict[str, int] = {}
     for uid in schedule.trees:
-        new_assignment[uid] = placement[uid]
-        if placement[uid] != schedule.assignment[uid]:
+        new_assignment[uid] = home_tasks[uid]
+        if home_tasks[uid] != schedule.assignment[uid]:
             moved += 1
     for shards in shards_of_tree.values():
         for shard in shards[1:]:
-            new_assignment[shard.key] = placement[shard.key]
+            new_assignment[shard.key] = shard_tasks[shard.key]
     schedule.assignment = new_assignment
     schedule.shards = {shard.key: shard for shard in all_shards}
 
     orders = build_block_orders(
-        schedule.trees, schedule.estimates,
-        {uid: placement[uid] for uid in schedule.trees}, num_tasks,
+        schedule.trees, schedule.estimates, home_tasks, num_tasks,
     )
     for uid, shards in shards_of_tree.items():
-        home = placement[uid]
+        home = home_tasks[uid]
         orders[home] = [
             shards[0].key if entry == uid else entry for entry in orders[home]
         ]
-    # Remote shards are heavy by construction (each ~ one mean task load),
-    # so they lead their task's order: starting the critical path first
-    # minimizes the task's finish time without touching output sets.
+    # Remote shards carry the split blocks' comparison mass, so they lead
+    # their task's order: starting the critical path first minimizes the
+    # task's finish time without touching output sets.
     extra: Dict[int, List[BlockShard]] = {}
     for shards in shards_of_tree.values():
         for shard in shards[1:]:
-            extra.setdefault(placement[shard.key], []).append(shard)
+            extra.setdefault(shard_tasks[shard.key], []).append(shard)
     for task, shard_list in extra.items():
         shard_list.sort(key=lambda s: (-s.cost, s.key))
         orders[task] = [shard.key for shard in shard_list] + orders[task]
     schedule.block_order = orders
     recompute_sequence(schedule)
-
-    split = tuple(sorted(shards_of_tree))
-    return tuple(all_shards), split, moved
+    return moved
 
 
 def _shard_root(

@@ -156,7 +156,7 @@ class ResolutionReducer(Reducer):
     def reduce(
         self, key: str, values: Sequence[RoutedEntity], context: TaskContext
     ) -> None:
-        context.charge(context.cost_model.read_record * len(values))
+        context.charge(context.cost_model.read_record * len(values), "read")
         self._buffered[key] = list(values)
 
     def cleanup(self, context: TaskContext) -> None:
@@ -311,6 +311,7 @@ def resolve_scheduled_block(
         stop=stop,
         on_resolved=on_resolved,
         pair_range=pair_range,
+        charge_compare=lambda units: context.charge(units, "compare"),
     )
     if pair_range is None:
         context.counters.increment("driver", "blocks_resolved")
@@ -400,7 +401,7 @@ class BlockRoutingReducer(Reducer):
     def reduce(
         self, key: int, values: Sequence[RoutedEntity], context: TaskContext
     ) -> None:
-        context.charge(context.cost_model.read_record * len(values))
+        context.charge(context.cost_model.read_record * len(values), "read")
         block_uid = self._uid_of_sequence[key]
         resolve_scheduled_block(
             self._schedule,
@@ -457,8 +458,9 @@ class ProgressiveER:
             (Section VI-B2's comparison).
         seed: seed for training-sample selection and cost-factor sampling.
         balance: post-pass placement strategy — ``"slack"`` (the paper
-            baseline: schedule untouched), ``"blocksplit"`` or
-            ``"pairrange"`` (see :mod:`repro.core.balance`).
+            baseline: schedule untouched), ``"blocksplit"``, the global
+            ``"pairrange"``, or the deprecated ``"pairrange-tree"`` alias
+            (see :mod:`repro.core.balance`).
     """
 
     def __init__(
@@ -475,9 +477,9 @@ class ProgressiveER:
         self.strategy = strategy
         self.seed = seed
         self.balance = balance
-        if balance == "blocksplit" and config.routing == "block":
+        if balance in ("blocksplit", "pairrange") and config.routing == "block":
             raise ValueError(
-                "balance='blocksplit' requires tree routing; the naive "
+                f"balance={balance!r} requires tree routing; the naive "
                 "block-routing mapper cannot replicate shard groups"
             )
 

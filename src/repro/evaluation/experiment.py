@@ -69,7 +69,8 @@ class RunSpec:
             ``"nosplit"`` or ``"lpt"`` (ignored by Basic).
         balance: load-balancing post-pass for the progressive approach —
             ``"slack"`` (paper baseline, schedule untouched),
-            ``"blocksplit"`` or ``"pairrange"`` (ignored by Basic; see
+            ``"blocksplit"``, the global ``"pairrange"``, or the
+            deprecated ``"pairrange-tree"`` alias (ignored by Basic; see
             :mod:`repro.core.balance`).
         seed: seed for training-sample and cost-factor sampling.
         label: run label for reports and traces (default: derived).
@@ -160,11 +161,11 @@ class RunSpec:
             )
         if (
             isinstance(self.config, ApproachConfig)
-            and self.balance == "blocksplit"
+            and self.balance in ("blocksplit", "pairrange")
             and self.config.routing == "block"
         ):
             problems.append(
-                "balance='blocksplit' requires tree routing; the naive "
+                f"balance={self.balance!r} requires tree routing; the naive "
                 "block-routing mapper cannot replicate shard groups "
                 "(use routing='tree' or balance='slack')"
             )

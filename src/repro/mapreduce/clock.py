@@ -10,6 +10,7 @@ so curves are comparable across approaches and machines.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -54,8 +55,6 @@ class CostModel:
         """Cost of comparison-sorting ``n`` items."""
         if n <= 1:
             return 0.0
-        import math
-
         return self.sort_item * n * math.log2(n)
 
 

@@ -415,6 +415,8 @@ class Cluster:
                     output=payload.emitted,
                     num_failed_attempts=failed_attempts,
                     speculative=speculative,
+                    wall_ns=payload.wall_ns,
+                    charge_profile=payload.charge_profile,
                 )
             )
             for key, value in payload.emitted:
@@ -723,6 +725,8 @@ class Cluster:
                     output=payload.written,
                     num_failed_attempts=failed_attempts,
                     speculative=speculative,
+                    wall_ns=payload.wall_ns,
+                    charge_profile=payload.charge_profile,
                 )
             )
         return results, all_files

@@ -139,6 +139,12 @@ class MapTaskPayload:
             Wall-clock bookkeeping only: the engine routes them to the
             metrics registry, never into job counters, because per-worker
             cache state legitimately differs between backends.
+        wall_ns: wall-clock nanoseconds the task body took in whichever
+            process ran it (cost-model calibration input; never read by
+            virtual time).
+        charge_profile: sorted ``(category, units)`` pairs of the task's
+            tagged virtual charges (see ``TaskContext.charge``); the
+            untagged remainder is ``cost - sum(units)``.
     """
 
     task_id: int
@@ -151,6 +157,8 @@ class MapTaskPayload:
     combine_output: int = 0
     spans: List[SpanFragment] = field(default_factory=list)
     stat_deltas: StatDeltas = ()
+    wall_ns: int = 0
+    charge_profile: Tuple[Tuple[str, float], ...] = ()
 
 
 @dataclass
@@ -167,6 +175,8 @@ class ReduceTaskPayload:
     num_records: int = 0
     spans: List[SpanFragment] = field(default_factory=list)
     stat_deltas: StatDeltas = ()
+    wall_ns: int = 0
+    charge_profile: Tuple[Tuple[str, float], ...] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -250,11 +260,12 @@ def compute_map_task(
 ) -> MapTaskPayload:
     """Run one map task to completion and return its payload."""
     stats_before = _stat_snapshot()
+    wall_start = time.perf_counter_ns()
     context = TaskContext(task_id, cost_model, job.config)
     mapper = job.mapper_factory()
     mapper.setup(context)
     for record in split:
-        context.charge(cost_model.read_record)
+        context.charge(cost_model.read_record, "read")
         mapper.map(record, context)
     mapper.cleanup(context)
     emitted = context.emitted
@@ -274,6 +285,8 @@ def compute_map_task(
         combine_output=combine_output,
         spans=list(context.span_fragments),
         stat_deltas=_stat_deltas(stats_before),
+        wall_ns=time.perf_counter_ns() - wall_start,
+        charge_profile=tuple(sorted(context.charge_profile.items())),
     )
 
 
@@ -282,7 +295,7 @@ def _apply_combiner(
 ) -> List[KeyValue]:
     """Fold a map task's output through the job's combiner."""
     assert job.combiner is not None
-    context.charge(context.cost_model.sort_cost(len(emitted)))
+    context.charge(context.cost_model.sort_cost(len(emitted)), "sort")
     groups = group_by_key(emitted)
     combined: List[KeyValue] = []
     for key, values in groups.items():
@@ -301,14 +314,15 @@ def compute_reduce_task(
     its payload.  Output-file close times stay task-local until the engine
     schedules the task and rebases them."""
     stats_before = _stat_snapshot()
+    wall_start = time.perf_counter_ns()
     context = TaskContext(task_id, cost_model, job.config, alpha=job.alpha)
     # Shuffle: pull records in, then sort groups by key.
-    context.charge(cost_model.shuffle_record * len(items))
+    context.charge(cost_model.shuffle_record * len(items), "shuffle")
     groups = group_by_key(items)
     keys = list(groups.keys())
     sort_key = job.key_sort
     keys.sort(key=sort_key if sort_key is not None else default_group_key)
-    context.charge(cost_model.sort_cost(len(items)))
+    context.charge(cost_model.sort_cost(len(items)), "sort")
 
     reducer = job.reducer_factory()
     reducer.setup(context)
@@ -326,6 +340,8 @@ def compute_reduce_task(
         num_records=len(items),
         spans=list(context.span_fragments),
         stat_deltas=_stat_deltas(stats_before),
+        wall_ns=time.perf_counter_ns() - wall_start,
+        charge_profile=tuple(sorted(context.charge_profile.items())),
     )
 
 

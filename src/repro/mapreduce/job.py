@@ -52,12 +52,24 @@ class TaskContext:
         self._current_file = OutputFile(task_id=task_id, index=0, close_time=0.0)
         self._next_flush = alpha if alpha is not None else None
         self._start_time = 0.0  # set by the engine before running
+        #: Virtual cost per charge category ("compare", "emit", "shuffle",
+        #: "sort", "read"); untagged charges are the calibration residual.
+        self.charge_profile: dict = {}
 
     # -- cost & events ---------------------------------------------------
 
-    def charge(self, units: float) -> float:
-        """Charge ``units`` of cost and return the new local time."""
+    def charge(self, units: float, category: Optional[str] = None) -> float:
+        """Charge ``units`` of cost and return the new local time.
+
+        ``category`` tags the charge for cost-model calibration (see
+        :mod:`repro.core.calibration`); it never affects the clock, events
+        or counters, so tagged and untagged runs are bit-identical.
+        """
         now = self.clock.charge(units)
+        if category is not None:
+            self.charge_profile[category] = (
+                self.charge_profile.get(category, 0.0) + units
+            )
         if self._next_flush is not None and now >= self._next_flush:
             self._rotate_file(now)
         return now
@@ -114,7 +126,7 @@ class TaskContext:
 
     def emit(self, key: Any, value: Any) -> None:
         """Emit an intermediate key-value pair (map side)."""
-        self.charge(self.cost_model.emit_pair)
+        self.charge(self.cost_model.emit_pair, "emit")
         self.emitted.append((key, value))
 
     # -- reduce-side output -----------------------------------------------

@@ -183,6 +183,8 @@ def encode_map_payload(payload) -> bytes:
             payload.combine_output,
             _pack_spans(payload.spans),
             payload.stat_deltas,
+            payload.wall_ns,
+            payload.charge_profile,
         )
     )
 
@@ -201,6 +203,8 @@ def decode_map_payload(blob: bytes):
         combine_output,
         spans,
         stat_deltas,
+        wall_ns,
+        charge_profile,
     ) = _decode(blob)
     return MapTaskPayload(
         task_id=task_id,
@@ -213,6 +217,8 @@ def decode_map_payload(blob: bytes):
         combine_output=combine_output,
         spans=_unpack_spans(spans),
         stat_deltas=stat_deltas,
+        wall_ns=wall_ns,
+        charge_profile=charge_profile,
     )
 
 
@@ -230,6 +236,8 @@ def encode_reduce_payload(payload) -> bytes:
             payload.num_records,
             _pack_spans(payload.spans),
             payload.stat_deltas,
+            payload.wall_ns,
+            payload.charge_profile,
         )
     )
 
@@ -248,6 +256,8 @@ def decode_reduce_payload(blob: bytes):
         num_records,
         spans,
         stat_deltas,
+        wall_ns,
+        charge_profile,
     ) = _decode(blob)
     return ReduceTaskPayload(
         task_id=task_id,
@@ -260,6 +270,8 @@ def decode_reduce_payload(blob: bytes):
         num_records=num_records,
         spans=_unpack_spans(spans),
         stat_deltas=stat_deltas,
+        wall_ns=wall_ns,
+        charge_profile=charge_profile,
     )
 
 

@@ -199,6 +199,7 @@ def resolve_block(
     on_resolved: Optional[Callable[[Entity, Entity, bool], None]] = None,
     pair_range: Optional[Tuple[int, int]] = None,
     batch_pairs: Optional[int] = None,
+    charge_compare: Optional[ChargeFn] = None,
 ) -> ResolveStats:
     """Resolve one block with mechanism M (shared driver).
 
@@ -226,11 +227,17 @@ def resolve_block(
         batch_pairs: pairs decided per batch-kernel call (default: the
             module-wide :data:`DEFAULT_BATCH_PAIRS`); ``<= 1`` selects the
             scalar per-pair reference path.
+        charge_compare: optional charging callback used for the per-pair
+            comparison charges only (default: ``charge``).  Lets callers
+            tag comparison cost separately from ``CostA`` for cost-model
+            calibration without touching the mechanism interface.
 
     Returns:
         the final :class:`ResolveStats` of the block.
     """
     stats = ResolveStats()
+    if charge_compare is None:
+        charge_compare = charge
     condition = stop if stop is not None else NeverStop()
     first, last = (0, None) if pair_range is None else pair_range
     if first < 0 or (last is not None and last < first):
@@ -251,7 +258,7 @@ def resolve_block(
             if should_resolve is not None and not should_resolve(e1, e2):
                 stats.skipped += 1
                 continue
-            charge(cost_model.compare * matcher.comparison_cost_factor(e1, e2))
+            charge_compare(cost_model.compare * matcher.comparison_cost_factor(e1, e2))
             is_dup = matcher.is_match(e1, e2)
             stats.comparisons += 1
             if is_dup:
@@ -286,7 +293,7 @@ def resolve_block(
                 stats.skipped += 1
                 continue
             e1, e2 = entry
-            charge(cost_model.compare * factors[index])
+            charge_compare(cost_model.compare * factors[index])
             is_dup = decisions[index]
             index += 1
             stats.comparisons += 1

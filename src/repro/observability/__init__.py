@@ -12,6 +12,7 @@ from .export import (
     CHROME_PHASES,
     TS_SCALE,
     chrome_trace_events,
+    format_calibration_report,
     format_perf_report,
     format_sched_report,
     format_trace_summary,
@@ -38,6 +39,7 @@ __all__ = [
     "trace_records",
     "write_trace_jsonl",
     "format_trace_summary",
+    "format_calibration_report",
     "format_perf_report",
     "format_sched_report",
 ]

@@ -112,11 +112,15 @@ def plan_delta(
     """Place affected blocks onto reduce tasks under a balance strategy.
 
     ``slack`` mirrors the paper baseline: hash placement, whole blocks.
-    ``blocksplit`` and ``pairrange`` reuse PR 5's ideas at the delta
+    Every other strategy (``blocksplit``, ``pairrange``,
+    ``pairrange-tree``) reuses the batch balancer's ideas at the delta
     granularity: blocks whose planned load exceeds the per-task fair share
     are sharded into contiguous anchor ranges, then all units are placed
-    longest-processing-time-first onto the least-loaded task.  Placement
-    never changes which pairs are compared — only where.
+    longest-processing-time-first onto the least-loaded task.  (The delta
+    workload has no per-block pair-stream estimates, so the batch
+    strategies' distinctions — global cuts versus oversize thresholds —
+    collapse to this single sharding scheme here.)  Placement never
+    changes which pairs are compared — only where.
     """
     plan = DeltaPlan()
     loads: Dict[str, int] = {}

@@ -117,8 +117,10 @@ class ResolverService:
             forest to keep warm and are rejected).
         machines: simulated cluster size for the delta jobs.
         balance: placement strategy for affected blocks — ``"slack"``
-            (hash placement), ``"blocksplit"`` / ``"pairrange"`` (shard
-            oversized blocks, LPT placement).  Output-invariant.
+            (hash placement), or any sharding strategy (``"blocksplit"``,
+            ``"pairrange"``, ``"pairrange-tree"``: shard oversized
+            blocks, LPT placement — at delta granularity they share one
+            scheme).  Output-invariant.
         min_family_matches: key families that must agree before a pair is
             compared (clamped to the scheme's family count).
         batch_pairs: batched-kernel width for delta reducers (None = the

@@ -5,7 +5,8 @@ Every balance strategy × execution backend × fault plan must resolve the
 work runs, never its logical output.  The oracle runs the full grid on a
 skewed workload (one hub block holding most of the dataset) and asserts:
 
-* found-pair sets are identical across all twelve cells;
+* found-pair sets are identical across all strategy × backend × fault
+  cells;
 * recall curves are bit-identical across backends within each
   (strategy, fault) cell — backends must not even reorder virtual time;
 * fault injection is output-invariant under every strategy;
@@ -16,7 +17,9 @@ skewed workload (one hub block holding most of the dataset) and asserts:
 
 The grid also pins the non-vacuousness of the tentpole: ``blocksplit``
 must actually shard the hub block and beat ``slack``'s reduce-phase
-makespan on this workload.
+makespan on this workload, and the global ``pairrange`` must shard the
+hub too and beat its deprecated tree-granularity alias
+``pairrange-tree`` (which cannot split a block).
 """
 
 from __future__ import annotations
@@ -170,6 +173,42 @@ class TestBlocksplitEffectiveness:
         plan = run.result.balance
         assert plan.before == plan.after
         assert plan.moved_trees == 0
+
+
+class TestGlobalPairrangeEffectiveness:
+    def test_pairrange_shards_the_hub(self, grid):
+        plan = grid[("pairrange", "serial", "clean")].result.balance
+        assert plan.shards, "global cuts never landed inside the hub block"
+        assert plan.split_blocks
+        covered = {shard.block_uid for shard in plan.shards}
+        assert covered == set(plan.split_blocks)
+
+    def test_pairrange_beats_tree_granularity(self, grid):
+        """The global enumeration must beat the deprecated whole-tree
+        variant decisively on the hub workload: pairrange-tree cannot
+        split the hub, so its reduce makespan stays hub-bound."""
+        def reduce_span(run):
+            job2 = run.result.job2
+            return job2.end_time - job2.map_phase_end
+
+        tree = reduce_span(grid[("pairrange-tree", "serial", "clean")])
+        global_ = reduce_span(grid[("pairrange", "serial", "clean")])
+        assert global_ * 1.3 <= tree
+
+    def test_pairrange_improves_planned_skew(self, grid):
+        plan = grid[("pairrange", "serial", "clean")].result.balance
+        assert plan.after.max < plan.before.max
+        assert plan.after.max_over_mean < plan.before.max_over_mean
+
+    def test_pairrange_tree_never_creates_shards(self, grid):
+        run = grid[("pairrange-tree", "serial", "clean")]
+        assert not run.result.schedule.shards
+        assert not run.result.balance.shards
+
+    def test_pairrange_rejects_block_routing(self, skewed_cfg):
+        config = skewed_config(matcher=skewed_cfg.matcher, routing="block")
+        with pytest.raises(ValueError, match="pairrange"):
+            ProgressiveER(config, Cluster(MACHINES), balance="pairrange")
 
 
 class TestScheduleIntegrity:

@@ -1,0 +1,198 @@
+"""Unit tests for cost-model calibration (:mod:`repro.core.calibration`).
+
+The fit itself is exercised on synthetic samples with known ground truth
+(exact recovery, intercept recovery, negative-coefficient clamping), the
+sample extraction on hand-built task results, and the whole loop once
+end-to-end on a small real run through the serial backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import citeseer_config
+from repro.core.calibration import (
+    CATEGORIES,
+    MIN_WALL_SECONDS,
+    TaskSample,
+    calibration_report,
+    fit_cost_model,
+    task_samples,
+    visible_cpus,
+)
+from repro.data import make_citeseer
+from repro.evaluation import ExperimentRun, RunSpec
+from repro.mapreduce.types import Counters, JobResult, TaskResult
+from repro.observability import format_calibration_report
+
+
+def _sample(wall: float, **units_by_cat: float) -> TaskSample:
+    units = tuple(units_by_cat.get(cat, 0.0) for cat in CATEGORIES)
+    return TaskSample(
+        phase="reduce",
+        task_id=0,
+        cost=sum(units),
+        wall_seconds=wall,
+        units=units,
+    )
+
+
+class TestFit:
+    def test_exact_linear_model_is_recovered(self):
+        compare_price, emit_price = 2e-3, 5e-4
+        samples = []
+        for i in range(1, 13):
+            compare = float(i * 7 % 11 + 1) * 10.0
+            emit = float(i * 3 % 5 + 1) * 10.0
+            wall = compare_price * compare + emit_price * emit
+            samples.append(_sample(wall, compare=compare, emit=emit))
+        fit = fit_cost_model(samples)
+        assert fit.seconds_per_unit["compare"] == pytest.approx(
+            compare_price, rel=1e-5
+        )
+        assert fit.seconds_per_unit["emit"] == pytest.approx(emit_price, rel=1e-5)
+        assert fit.samples_used == len(samples)
+        assert fit.median_ape == pytest.approx(0.0, abs=1e-6)
+        assert fit.residual_rms == pytest.approx(0.0, abs=1e-6)
+
+    def test_per_task_intercept_is_recovered(self):
+        """The constant ``task`` column absorbs fixed per-task overhead."""
+        overhead, compare_price = 0.01, 1e-3
+        samples = [
+            _sample(overhead + compare_price * c, compare=c, task=1.0)
+            for c in (5.0, 11.0, 23.0, 41.0, 83.0, 160.0)
+        ]
+        fit = fit_cost_model(samples)
+        assert fit.seconds_per_unit["task"] == pytest.approx(overhead, rel=1e-4)
+        assert fit.seconds_per_unit["compare"] == pytest.approx(
+            compare_price, rel=1e-4
+        )
+
+    def test_negative_coefficients_are_clamped_and_refit(self):
+        """A category anti-correlated with wall time gets price 0, never a
+        negative price; the remaining columns are refit without it."""
+        samples = [
+            _sample(0.020, compare=10.0, read=0.0),
+            _sample(0.015, compare=10.0, read=5.0),
+            _sample(0.040, compare=20.0, read=0.0),
+            _sample(0.030, compare=15.0, read=2.0),
+        ]
+        fit = fit_cost_model(samples)
+        assert fit.seconds_per_unit["read"] == 0.0
+        assert fit.seconds_per_unit["compare"] > 0.0
+        assert all(price >= 0.0 for price in fit.seconds_per_unit.values())
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError, match="no calibration samples"):
+            fit_cost_model([])
+
+    def test_fit_weights_small_tasks_fairly(self):
+        """Relative least squares: one huge outlier task must not wreck the
+        prediction of the many small tasks (as absolute LS would)."""
+        samples = [
+            _sample(1e-3 * c, compare=c) for c in (2.0, 3.0, 5.0, 8.0, 13.0)
+        ]
+        # A single giant task observed 3x slower than the linear model.
+        samples.append(_sample(3.0, compare=1000.0))
+        fit = fit_cost_model(samples)
+        predicted = fit.predict_seconds({"compare": 10.0})
+        assert predicted == pytest.approx(1e-2, rel=0.35)
+
+
+class TestTaskSamples:
+    def _job(self, tasks):
+        return JobResult(
+            start_time=0.0,
+            map_phase_end=0.0,
+            end_time=1.0,
+            map_tasks=[],
+            reduce_tasks=tasks,
+            events=[],
+            output=[],
+            output_files=[],
+            counters=Counters(),
+        )
+
+    def test_extraction_and_untagged_remainder(self):
+        task = TaskResult(
+            task_id=3,
+            cost=10.0,
+            start_time=0.0,
+            end_time=10.0,
+            wall_ns=5_000_000,
+            charge_profile=(("compare", 6.0), ("emit", 1.0)),
+        )
+        (sample,) = task_samples([self._job([task])])
+        assert sample.phase == "reduce"
+        assert sample.task_id == 3
+        assert sample.wall_seconds == pytest.approx(5e-3)
+        by_cat = dict(zip(CATEGORIES, sample.units))
+        assert by_cat["compare"] == 6.0
+        assert by_cat["emit"] == 1.0
+        assert by_cat["other"] == pytest.approx(3.0)  # cost - tagged
+        assert by_cat["task"] == 1.0  # intercept column
+
+    def test_tasks_without_wall_clock_are_skipped(self):
+        task = TaskResult(
+            task_id=0, cost=5.0, start_time=0.0, end_time=5.0, wall_ns=0
+        )
+        assert task_samples([self._job([task])]) == []
+
+    def test_phase_filter(self):
+        task = TaskResult(
+            task_id=0, cost=5.0, start_time=0.0, end_time=5.0, wall_ns=1000
+        )
+        assert task_samples([self._job([task])], phases=("map",)) == []
+
+
+class TestReport:
+    def _fit(self):
+        samples = [_sample(1e-3 * c, compare=c) for c in (10.0, 20.0, 40.0)]
+        return fit_cost_model(samples)
+
+    def test_report_fields(self):
+        report = calibration_report(
+            self._fit(), workload={"family": "citeseer"}, workers=1
+        )
+        assert report["format"] == 1
+        assert report["workload"] == {"family": "citeseer"}
+        assert report["cpus_visible"] == visible_cpus()
+        assert report["parallelism_limited"] is False
+        assert set(report["seconds_per_unit"]) == set(CATEGORIES)
+        assert report["fitted_constants"]["compare"] == pytest.approx(1.0)
+        assert report["seconds_per_op"]["compare"] == pytest.approx(1e-3, rel=1e-4)
+        assert "median APE" in report["error_band"] or "%" in report["error_band"]
+
+    def test_parallelism_limited_flag(self):
+        report = calibration_report(self._fit(), workers=visible_cpus() + 1)
+        assert report["parallelism_limited"] is True
+
+    def test_formatter_renders_report(self):
+        report = calibration_report(
+            self._fit(), workers=visible_cpus() + 1, workload={"size": 10}
+        )
+        text = format_calibration_report(report)
+        assert "cost-model calibration" in text
+        assert "WARNING" in text  # parallelism-limited fits are flagged
+        assert "size=10" in text
+        assert "compare" in text
+
+
+class TestEndToEnd:
+    def test_serial_run_yields_a_finite_fit(self):
+        dataset = make_citeseer(200, seed=7)
+        run = ExperimentRun(
+            RunSpec(dataset, citeseer_config(), machines=2)
+        ).run()
+        samples = task_samples([run.result.job1, run.result.job2])
+        assert samples, "serial tasks must record wall_ns"
+        assert all(s.wall_seconds > 0 for s in samples)
+        assert all(len(s.units) == len(CATEGORIES) for s in samples)
+        fit = fit_cost_model(samples)
+        assert fit.residual_rms == fit.residual_rms  # not NaN
+        assert fit.residual_rms < float("inf")
+        assert all(price >= 0.0 for price in fit.seconds_per_unit.values())
+        report = calibration_report(fit, workers=1, backend="serial")
+        assert report["samples_used"] == len(samples)
+        scored = [s for s in samples if s.wall_seconds >= MIN_WALL_SECONDS]
+        assert report["samples_scored"] == len(scored)

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -89,6 +91,27 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "o=ours" in out
         assert "recall vs time" in out
+
+
+class TestCalibrate:
+    def test_fit_and_report(self, tmp_path, capsys):
+        out = tmp_path / "calibration.json"
+        code = main(
+            [
+                "calibrate", "--family", "citeseer", "--size", "200",
+                "--machines", "2", "--backend", "serial", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "cost-model calibration" in text
+        assert "median APE" in text
+        report = json.loads(out.read_text())
+        assert report["format"] == 1
+        assert report["backend"] == "serial"
+        assert report["samples_used"] > 0
+        assert report["workload"]["family"] == "citeseer"
+        assert all(v >= 0.0 for v in report["seconds_per_unit"].values())
 
 
 class TestParser:

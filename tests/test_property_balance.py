@@ -226,6 +226,74 @@ def test_blocksplit_never_loses_to_slack_on_giant_blocks(small_sizes, num_tasks)
     assert skew_report(split_schedule) == split_plan.after
 
 
+# ---------------------------------------------------------------------------
+# global pairrange: cuts tile the pair space, loads stay within one unit
+# ---------------------------------------------------------------------------
+
+
+@seed(20260807)
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(2, 40), min_size=1, max_size=16),
+    num_tasks=st.integers(2, 8),
+)
+def test_global_pairrange_cuts_tile_pair_space(sizes, num_tasks):
+    """Every block the global cuts split is tiled exactly by its shards."""
+    schedule = _toy_schedule(sizes, num_tasks)
+    plan = apply_balance(schedule, strategy="pairrange")
+
+    by_block = {}
+    for shard in plan.shards:
+        by_block.setdefault(shard.block_uid, []).append(shard)
+    assert set(by_block) == set(plan.split_blocks)
+    for uid, shards in by_block.items():
+        shards.sort(key=lambda s: s.index)
+        total = window_pairs_count(
+            schedule.trees[uid].size, schedule.estimates[uid].window
+        )
+        assert shards[0].start == 0
+        assert shards[-1].stop == total
+        for left, right in zip(shards, shards[1:]):
+            assert left.stop == right.start
+        assert all(s.stop > s.start for s in shards)
+    # The rewritten schedule stays well-formed: no order entry is
+    # duplicated and the skew report matches the block orders.
+    entries = [e for order in schedule.block_order for e in order]
+    assert len(entries) == len(set(entries))
+    assert skew_report(schedule) == plan.after
+
+
+@seed(20260807)
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(2, 60), min_size=1, max_size=16),
+    num_tasks=st.integers(2, 8),
+)
+def test_global_pairrange_load_bound(sizes, num_tasks):
+    """Max planned load <= mean + the largest placed unit's cost.
+
+    Work units are disjoint contiguous intervals of the global cost axis
+    and each lands on the equal-width task range containing its midpoint,
+    so a task's load can exceed its range width (the mean) by at most half
+    of its first unit plus half of its last — bounded by one whole unit.
+    (Toy blocks have ``cost_a = 0``, so a unit's cost equals its axis
+    width exactly and the geometric bound is tight.)
+    """
+    schedule = _toy_schedule(sizes, num_tasks)
+    plan = apply_balance(schedule, strategy="pairrange")
+
+    split = set(plan.split_blocks)
+    unit_costs = [
+        schedule.estimates[uid].cost
+        for uid in schedule.trees
+        if uid not in split
+    ]
+    unit_costs.extend(shard.cost for shard in plan.shards)
+    total = sum(unit_costs)
+    assert abs(total - plan.after.total) <= 1e-6 * max(total, 1.0)
+    assert plan.after.max <= total / num_tasks + max(unit_costs) + 1e-6
+
+
 @seed(20260807)
 @settings(max_examples=40, deadline=None)
 @given(
@@ -233,7 +301,7 @@ def test_blocksplit_never_loses_to_slack_on_giant_blocks(small_sizes, num_tasks)
     num_tasks=st.integers(1, 8),
 )
 def test_apply_balance_is_deterministic(sizes, num_tasks):
-    for strategy in ("blocksplit", "pairrange"):
+    for strategy in ("blocksplit", "pairrange", "pairrange-tree"):
         first = _toy_schedule(sizes, num_tasks)
         second = copy.deepcopy(first)
         plan_a = apply_balance(first, strategy=strategy)
