@@ -43,7 +43,9 @@ def _reduce_span(run):
     return job2.end_time - job2.map_phase_end
 
 
-def test_load_balance_bench(skewed_dataset, skewed_cached_matcher, report):
+def test_load_balance_bench(
+    skewed_dataset, skewed_cached_matcher, calibrated_seconds, report
+):
     runs = {}
     for strategy in BALANCE_STRATEGIES:
         spec = RunSpec(
@@ -74,6 +76,15 @@ def test_load_balance_bench(skewed_dataset, skewed_cached_matcher, report):
             "shards": len(plan.shards),
             "moved_trees": plan.moved_trees,
         }
+        if calibrated_seconds is not None:
+            # The same makespans restated in this host's estimated wall
+            # seconds (fitted compare price from BENCH_calibration.json).
+            entries[strategy]["reduce_makespan_calibrated_s"] = calibrated_seconds(
+                _reduce_span(run)
+            )
+            entries[strategy]["total_time_calibrated_s"] = calibrated_seconds(
+                run.total_time
+            )
 
     slack_span = entries["slack"]["reduce_makespan"]
     speedups = {
@@ -109,6 +120,11 @@ def test_load_balance_bench(skewed_dataset, skewed_cached_matcher, report):
         "pairrange_global_over_tree": global_over_tree,
         "acceptance_global_over_tree": ACCEPT_GLOBAL_OVER_TREE,
     }
+    if calibrated_seconds is not None:
+        payload["calibration"] = {
+            "seconds_per_compare_unit": calibrated_seconds.seconds_per_compare_unit,
+            "source": "BENCH_calibration.json",
+        }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [f"load balancing (skewed, {MACHINES} machines)"]

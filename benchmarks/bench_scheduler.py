@@ -83,7 +83,7 @@ def _run_policy(policy: str):
     return scheduler.run()
 
 
-def test_scheduler_bench(report):
+def test_scheduler_bench(calibrated_seconds, report):
     fair = _run_policy("fair")
     fifo = _run_policy("fifo")
 
@@ -132,6 +132,21 @@ def test_scheduler_bench(report):
         },
         "acceptance_p99_speedup": ACCEPT_P99_SPEEDUP,
     }
+    if calibrated_seconds is not None:
+        # The same latencies restated in this host's estimated wall
+        # seconds (fitted compare price from BENCH_calibration.json).
+        payload["calibrated_seconds"] = {
+            "seconds_per_compare_unit": calibrated_seconds.seconds_per_compare_unit,
+            "source": "BENCH_calibration.json",
+            "interactive_p99": {
+                "fair": calibrated_seconds(fair_p99),
+                "fifo": calibrated_seconds(fifo_p99),
+            },
+            "makespan": {
+                "fair": calibrated_seconds(stats["fair"]["makespan"]),
+                "fifo": calibrated_seconds(stats["fifo"]["makespan"]),
+            },
+        }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [

@@ -12,7 +12,9 @@ Reports are printed straight to the terminal (bypassing capture) so
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -79,6 +81,39 @@ def skewed_cached_matcher():
     """One caching matcher per session for the skewed workload (the
     skewed family reuses the citeseer similarity functions)."""
     return citeseer_matcher(cache=True)
+
+
+#: The calibration artifact the ``calibrate`` benchmark writes; its
+#: fitted compare price converts virtual makespans to estimated seconds.
+CALIBRATION_PATH = Path(__file__).resolve().parent.parent / "BENCH_calibration.json"
+
+
+@pytest.fixture(scope="session")
+def calibrated_seconds():
+    """``virtual units -> estimated wall seconds`` on the calibrated host.
+
+    One virtual unit is one compare of reference length, so the fitted
+    ``seconds_per_op.compare`` price from ``BENCH_calibration.json``
+    converts any virtual duration to this host's estimated real seconds.
+    Returns ``None`` when no calibration artifact exists (benchmarks then
+    report virtual units only), so the bench suite never depends on the
+    calibration bench having run first.
+    """
+    if not CALIBRATION_PATH.exists():
+        return None
+    compare_s = (
+        json.loads(CALIBRATION_PATH.read_text())
+        .get("seconds_per_op", {})
+        .get("compare", 0.0)
+    )
+    if compare_s <= 0.0:
+        return None
+
+    def convert(virtual_units: float) -> float:
+        return virtual_units * compare_s
+
+    convert.seconds_per_compare_unit = compare_s
+    return convert
 
 
 @pytest.fixture()

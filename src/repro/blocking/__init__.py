@@ -8,6 +8,7 @@ from .functions import (
     BlockingScheme,
     books_scheme,
     citeseer_scheme,
+    linkage_scheme,
     people_scheme,
     prefix_function,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "citeseer_scheme",
     "books_scheme",
     "people_scheme",
+    "linkage_scheme",
     "group_by_key",
     "build_forest",
     "build_forests",

@@ -199,6 +199,32 @@ def people_scheme() -> BlockingScheme:
     )
 
 
+def linkage_scheme() -> BlockingScheme:
+    """Blocking for clean-clean linkage over the *shared* attributes of the
+    two source schemas (title / authors / year): X = title (3/5/8),
+    Y = authors (3/5), Z = year (4); dominance X ≻ Y ≻ Z.
+
+    Both sources project their records onto these keys, so cross-source
+    matches land in the same blocks regardless of which catalogue a record
+    came from — the schema-mapping half of record linkage."""
+    return BlockingScheme(
+        families={
+            "X": [
+                prefix_function("X", 1, "title", 3),
+                prefix_function("X", 2, "title", 5),
+                prefix_function("X", 3, "title", 8),
+            ],
+            "Y": [
+                prefix_function("Y", 1, "authors", 3),
+                prefix_function("Y", 2, "authors", 5),
+            ],
+            "Z": [
+                prefix_function("Z", 1, "year", 4),
+            ],
+        }
+    )
+
+
 __all__ = [
     "BlockingFunction",
     "BlockingScheme",
@@ -207,4 +233,5 @@ __all__ = [
     "citeseer_scheme",
     "books_scheme",
     "people_scheme",
+    "linkage_scheme",
 ]

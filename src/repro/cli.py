@@ -26,6 +26,8 @@ Examples::
     python -m repro serve --input ds.jsonl --batch-size 300 --snapshot-out state.json
     python -m repro submit --snapshot state.json --input more.jsonl --print-pairs
     python -m repro calibrate --family citeseer --size 800 --out calibration.json
+    python -m repro run --family linkage --size 1200 --machines 6
+    python -m repro run --family books --size 1500 --metablock bf --metablock-ratio 0.5
 """
 
 from __future__ import annotations
@@ -37,16 +39,27 @@ import sys
 from typing import List, Optional, Sequence
 
 from .baselines import BasicConfig
-from .blocking import books_scheme, citeseer_scheme, people_scheme
+from .blocking import books_scheme, citeseer_scheme, linkage_scheme, people_scheme
 from .core import (
     BALANCE_STRATEGIES,
+    METABLOCK_MODES,
     books_config,
     citeseer_config,
     format_balance_summary,
+    format_metablock_summary,
+    linkage_config,
     people_config,
     skewed_config,
 )
-from .data import Dataset, Entity, make_books, make_citeseer, make_people, make_skewed
+from .data import (
+    Dataset,
+    Entity,
+    make_books,
+    make_citeseer,
+    make_linkage,
+    make_people,
+    make_skewed,
+)
 from .data.profile import format_profile, profile_dataset, suggest_blocking_order
 from .evaluation import (
     ExperimentRun,
@@ -72,7 +85,7 @@ from .observability import (
     write_trace_jsonl,
 )
 
-_FAMILIES = ("citeseer", "books", "people", "skewed")
+_FAMILIES = ("citeseer", "books", "people", "skewed", "linkage")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -290,6 +303,25 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         "block resolution (default 64; 1 forces the scalar per-pair "
         "path; decisions are bit-identical at any width)",
     )
+    parser.add_argument(
+        "--metablock",
+        choices=METABLOCK_MODES,
+        default="off",
+        help="meta-blocking pre-pass between blocking and scheduling: "
+        "`off` (default), `bf` (block filtering: each entity keeps its "
+        "--metablock-ratio smallest level-1 blocks), `wnp` (weighted "
+        "node pruning: drop candidate pairs below both endpoints' mean "
+        "edge weight)",
+    )
+    parser.add_argument(
+        "--metablock-ratio",
+        type=float,
+        default=None,
+        metavar="R",
+        help="block-filtering retention ratio in (0, 1] for --metablock "
+        "bf (default 0.8; note ceil(R*k) rounds up, so 0.8 keeps all 3 "
+        "blocks of a 3-family scheme — use 0.5 for real pruning there)",
+    )
 
 
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
@@ -410,18 +442,21 @@ _MAKERS = {
     "books": make_books,
     "people": make_people,
     "skewed": make_skewed,
+    "linkage": make_linkage,
 }
 _CONFIGS = {
     "citeseer": citeseer_config,
     "books": books_config,
     "people": people_config,
     "skewed": skewed_config,
+    "linkage": linkage_config,
 }
 _SCHEMES = {
     "citeseer": citeseer_scheme,
     "books": books_scheme,
     "people": people_scheme,
     "skewed": lambda: skewed_config().scheme,
+    "linkage": linkage_scheme,
 }
 
 
@@ -431,8 +466,11 @@ def _load_dataset(args: argparse.Namespace) -> Dataset:
     return _MAKERS[args.family](args.size, seed=args.seed)
 
 
-def _progressive_config(family: str):
-    return _CONFIGS[family]()
+def _progressive_config(family: str, args: Optional[argparse.Namespace] = None):
+    overrides = {}
+    if args is not None and getattr(args, "metablock_ratio", None) is not None:
+        overrides["metablock_ratio"] = args.metablock_ratio
+    return _CONFIGS[family](**overrides)
 
 
 def _basic_config(family: str, window: int, threshold: Optional[float]) -> BasicConfig:
@@ -453,6 +491,8 @@ def _command_generate(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             for entity in dataset.entities:
                 row = {"id": entity.id, **entity.attrs}
+                if entity.source is not None:
+                    row["source"] = entity.source
                 handle.write(json.dumps(row, sort_keys=True) + "\n")
     else:
         dataset.to_csv(args.out)
@@ -477,6 +517,11 @@ def _run_spec(args: argparse.Namespace, config, **overrides) -> RunSpec:
         executor = make_executor(
             backend, getattr(args, "workers", None), profile_wire=True
         )
+    metablock = getattr(args, "metablock", "off")
+    if isinstance(config, BasicConfig):
+        # The baseline has no schedule to prune; RunSpec.validate rejects
+        # the combination, so the flag silently stays off for Basic runs.
+        metablock = "off"
     return RunSpec(
         dataset=overrides.pop("dataset"),
         config=config,
@@ -486,6 +531,7 @@ def _run_spec(args: argparse.Namespace, config, **overrides) -> RunSpec:
         workers=getattr(args, "workers", None),
         executor=executor,
         faults=_fault_plan(args) if hasattr(args, "fault_rate") else None,
+        metablock=metablock,
         **overrides,
     )
 
@@ -499,7 +545,7 @@ def _command_run(args: argparse.Namespace) -> int:
     else:
         spec = _run_spec(
             args,
-            _progressive_config(args.family),
+            _progressive_config(args.family, args),
             dataset=dataset,
             strategy=args.approach,
             tracer=tracer,
@@ -518,6 +564,10 @@ def _command_run(args: argparse.Namespace) -> int:
     if plan is not None and (args.balance != "slack" or args.skew):
         print()
         print(format_balance_summary(plan))
+    mb_plan = getattr(run.result, "metablock", None)
+    if mb_plan is not None:
+        print()
+        print(format_metablock_summary(mb_plan))
     _write_observations(args, tracer, metrics)
     return 0
 
@@ -528,7 +578,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     specs = [
         _run_spec(
             args,
-            _progressive_config(args.family),
+            _progressive_config(args.family, args),
             dataset=dataset,
             label="ours",
             tracer=tracer,
@@ -581,12 +631,20 @@ def _read_jsonl_entities(path: str):
                     "'id' field (and attribute fields, or a nested 'attrs')"
                 )
             batch = obj.pop("batch", None)
+            source = obj.pop("source", None)
             attrs = obj.pop("attrs", None)
             entity_id = int(obj.pop("id"))
             if attrs is None:
                 attrs = obj
             rows.append(
-                (batch, Entity(entity_id, {k: str(v) for k, v in attrs.items()}))
+                (
+                    batch,
+                    Entity(
+                        entity_id,
+                        {k: str(v) for k, v in attrs.items()},
+                        source=None if source is None else str(source),
+                    ),
+                )
             )
     finally:
         if handle is not sys.stdin:

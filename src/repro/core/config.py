@@ -18,13 +18,20 @@ from ..blocking.functions import (
     BlockingScheme,
     books_scheme,
     citeseer_scheme,
+    linkage_scheme,
     people_scheme,
     prefix_function,
 )
 from ..mechanisms.base import Mechanism
 from ..mechanisms.psnm import PSNM
 from ..mechanisms.sorted_neighbor import SortedNeighborHint
-from ..similarity.matchers import WeightedMatcher, books_matcher, citeseer_matcher, people_matcher
+from ..similarity.matchers import (
+    WeightedMatcher,
+    books_matcher,
+    citeseer_matcher,
+    linkage_matcher,
+    people_matcher,
+)
 
 
 @dataclass(frozen=True)
@@ -130,6 +137,17 @@ class ApproachConfig:
             block's sequence value ``SQ``, so the reduce function is called
             once per block in block-schedule order.  Same results, larger
             shuffle.
+        mode: ``"dirty"`` (default) resolves duplicates anywhere in one
+            source; ``"linkage"`` is clean-clean record linkage — entities
+            carry ``source`` tags and only *cross-source* pairs are
+            candidates (same-source pairs are vetoed at zero cost, and the
+            cost estimates scale to the cross-pair fraction).
+        metablock_ratio: block-filtering retention ratio ``r`` — under
+            ``--metablock bf`` each entity keeps its ``ceil(r * k)``
+            smallest level-1 blocks (Papadakis et al.'s Block Filtering).
+        metablock_weighting: edge-weighting scheme for ``--metablock wnp``
+            (weighted node pruning): ``"cbs"`` (common blocks) or ``"js"``
+            (Jaccard over the entities' key sets).
     """
 
     scheme: BlockingScheme
@@ -145,6 +163,9 @@ class ApproachConfig:
     estimator: str = "learned"
     redundancy_free: bool = True
     routing: str = "tree"
+    mode: str = "dirty"
+    metablock_ratio: float = 0.8
+    metablock_weighting: str = "cbs"
 
     def __post_init__(self) -> None:
         if self.num_intervals < 1:
@@ -157,6 +178,14 @@ class ApproachConfig:
             raise ValueError(f"unknown estimator {self.estimator!r}")
         if self.routing not in ("tree", "block"):
             raise ValueError(f"unknown routing {self.routing!r}")
+        if self.mode not in ("dirty", "linkage"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if not 0.0 < self.metablock_ratio <= 1.0:
+            raise ValueError("metablock_ratio must be in (0, 1]")
+        if self.metablock_weighting not in ("cbs", "js"):
+            raise ValueError(
+                f"unknown metablock_weighting {self.metablock_weighting!r}"
+            )
 
     def sort_attribute(self, family: str) -> str:
         """Attribute the blocks of ``family`` are sorted on (the paper sorts
@@ -232,6 +261,22 @@ def skewed_config(**overrides) -> ApproachConfig:
     return ApproachConfig(**defaults)
 
 
+def linkage_config(**overrides) -> ApproachConfig:
+    """Settings for clean-clean linkage over the two-source dataset:
+    blocking and matching on the shared title/authors/year attributes,
+    SN + hint, ``mode="linkage"`` restricting candidates to cross-source
+    pairs."""
+    defaults = dict(
+        scheme=linkage_scheme(),
+        matcher=linkage_matcher(),
+        mechanism=SortedNeighborHint(),
+        levels=LevelPolicy(leaf_frac=0.8, mid_frac=0.9),
+        mode="linkage",
+    )
+    defaults.update(overrides)
+    return ApproachConfig(**defaults)
+
+
 __all__ = [
     "LevelPolicy",
     "ApproachConfig",
@@ -243,4 +288,5 @@ __all__ = [
     "books_config",
     "people_config",
     "skewed_config",
+    "linkage_config",
 ]

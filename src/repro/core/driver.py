@@ -26,12 +26,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..blocking.functions import BlockingScheme
 from ..data.dataset import Dataset
-from ..data.entity import Entity, Pair, pair_key
+from ..data.entity import Entity, Pair, cross_pairs_count, pair_key, pairs_count
 from ..mapreduce.engine import Cluster
 from ..mapreduce.job import MapReduceJob, Mapper, Partitioner, Reducer, TaskContext
 from ..mapreduce.types import Event, JobResult
 from ..mechanisms.base import DistinctBudget, block_sort_key, resolve_block
 from .config import ApproachConfig
+from .metablock import METABLOCK_MODES, MetablockPlan, WnpPruner, build_metablock_plan
 from .estimation import (
     DuplicateEstimator,
     EstimationModel,
@@ -148,9 +149,15 @@ class ResolutionReducer(Reducer):
     block-schedule order (the shuffle delivers all groups before reduce
     work can begin in Hadoop, so buffering adds no delay)."""
 
-    def __init__(self, schedule: ProgressiveSchedule, config: ApproachConfig) -> None:
+    def __init__(
+        self,
+        schedule: ProgressiveSchedule,
+        config: ApproachConfig,
+        pruner: Optional[WnpPruner] = None,
+    ) -> None:
         self._schedule = schedule
         self._config = config
+        self._pruner = pruner
         self._buffered: Dict[str, List[RoutedEntity]] = {}
 
     def reduce(
@@ -182,6 +189,7 @@ class ResolutionReducer(Reducer):
                         resolved_in_tree,
                         context,
                         pair_range=(shard.start, shard.stop),
+                        pruner=self._pruner,
                     )
                 continue
             if entry not in members:
@@ -230,8 +238,20 @@ class ResolutionReducer(Reducer):
     ) -> None:
         """Resolve one block with mechanism M under the schedule's policy."""
         resolve_scheduled_block(
-            self._schedule, self._config, block_uid, routed, resolved_in_tree, context
+            self._schedule,
+            self._config,
+            block_uid,
+            routed,
+            resolved_in_tree,
+            context,
+            pruner=self._pruner,
         )
+
+
+def _cross_source_only(e1: Entity, e2: Entity) -> bool:
+    """Clean-clean linkage candidate predicate: both sources are internally
+    duplicate-free, so only cross-source pairs can match."""
+    return e1.source != e2.source
 
 
 def resolve_scheduled_block(
@@ -243,10 +263,17 @@ def resolve_scheduled_block(
     context: TaskContext,
     *,
     pair_range: Optional[Tuple[int, int]] = None,
+    pruner: Optional[WnpPruner] = None,
 ) -> None:
     """Resolve one scheduled block (shared by both routing modes):
     mechanism M, window/Th from the schedule, SHOULD-RESOLVE veto, and
     per-tree skip of pairs already resolved in descendants.
+
+    In linkage mode same-source pairs are rejected by the scenario
+    ``pair_filter`` at zero cost; ``pruner`` (weighted node pruning)
+    likewise vetoes low-weight pairs for free, with the pruned positions
+    still consuming the distinct-pair budget (see
+    :func:`~repro.mechanisms.base.resolve_block`).
 
     ``pair_range`` restricts the resolution to a slice of the raw pair
     stream — a balance shard of an oversized root.  Only roots are ever
@@ -298,7 +325,8 @@ def resolve_scheduled_block(
     trace = context.tracing
     span_start = context.clock.now if trace else 0.0
     stop = None if estimate.full else DistinctBudget(estimate.th)
-    resolve_block(
+    pair_filter = _cross_source_only if config.mode == "linkage" else None
+    stats = resolve_block(
         entities,
         config.mechanism,
         window=estimate.window,
@@ -308,11 +336,17 @@ def resolve_scheduled_block(
         charge=context.charge,
         on_duplicate=on_duplicate,
         should_resolve=ok_to_resolve,
+        pair_filter=pair_filter,
+        prune=pruner.keep if pruner is not None else None,
         stop=stop,
         on_resolved=on_resolved,
         pair_range=pair_range,
         charge_compare=lambda units: context.charge(units, "compare"),
     )
+    if stats.filtered:
+        context.counters.increment("resolve", "pairs_filtered", stats.filtered)
+    if stats.pruned:
+        context.counters.increment("resolve", "pairs_pruned", stats.pruned)
     if pair_range is None:
         context.counters.increment("driver", "blocks_resolved")
         span_name = f"resolve:{block_uid}"
@@ -392,9 +426,15 @@ class BlockRoutingReducer(Reducer):
     """The naive Job-2 reducer: called once per block, in sequence-value
     order (the engine sorts groups by key), resolving immediately."""
 
-    def __init__(self, schedule: ProgressiveSchedule, config: ApproachConfig) -> None:
+    def __init__(
+        self,
+        schedule: ProgressiveSchedule,
+        config: ApproachConfig,
+        pruner: Optional[WnpPruner] = None,
+    ) -> None:
         self._schedule = schedule
         self._config = config
+        self._pruner = pruner
         self._uid_of_sequence = {sq: uid for uid, sq in schedule.sequence.items()}
         self._resolved_in_tree: Dict[str, Set[Pair]] = {}
 
@@ -410,6 +450,7 @@ class BlockRoutingReducer(Reducer):
             list(values),
             self._resolved_in_tree,
             context,
+            pruner=self._pruner,
         )
 
 
@@ -433,6 +474,7 @@ class ProgressiveResult:
     job2: JobResult
     duplicate_events: List[Event]
     balance: Optional["BalancePlan"] = None
+    metablock: Optional[MetablockPlan] = None
 
     @property
     def total_time(self) -> float:
@@ -461,6 +503,11 @@ class ProgressiveER:
             baseline: schedule untouched), ``"blocksplit"``, the global
             ``"pairrange"``, or the deprecated ``"pairrange-tree"`` alias
             (see :mod:`repro.core.balance`).
+        metablock: meta-blocking pre-pass between blocking and
+            scheduling — ``"off"``, ``"bf"`` (block filtering) or
+            ``"wnp"`` (weighted node pruning); knobs on the config
+            (``metablock_ratio`` / ``metablock_weighting``).  See
+            :mod:`repro.core.metablock`.
     """
 
     def __init__(
@@ -471,22 +518,39 @@ class ProgressiveER:
         strategy: str = "ours",
         seed: int = 0,
         balance: str = "slack",
+        metablock: str = "off",
     ) -> None:
         self.config = config
         self.cluster = cluster
         self.strategy = strategy
         self.seed = seed
         self.balance = balance
+        self.metablock = metablock
         if balance in ("blocksplit", "pairrange") and config.routing == "block":
             raise ValueError(
                 f"balance={balance!r} requires tree routing; the naive "
                 "block-routing mapper cannot replicate shard groups"
             )
+        if metablock not in METABLOCK_MODES:
+            raise ValueError(f"unknown metablock mode {metablock!r}")
 
     def run(self, dataset: Dataset) -> ProgressiveResult:
-        """Execute Job 1, schedule generation and Job 2 on ``dataset``."""
+        """Execute Job 1, the meta-blocking pre-pass (when enabled),
+        schedule generation and Job 2 on ``dataset``."""
+        mb_plan: Optional[MetablockPlan] = None
+        if self.metablock != "off":
+            mb_plan = build_metablock_plan(
+                dataset.entities,
+                self.config.scheme,
+                self.metablock,
+                ratio=self.config.metablock_ratio,
+                weighting=self.config.metablock_weighting,
+            )
         annotated, stats, job1 = run_statistics_job(
-            self.cluster, dataset, self.config.scheme
+            self.cluster,
+            dataset,
+            self.config.scheme,
+            pruned=mb_plan.pruned if mb_plan is not None else None,
         )
         estimator = self._build_estimator(dataset)
         model = EstimationModel(
@@ -495,6 +559,7 @@ class ProgressiveER:
             estimator,
             len(dataset),
             avg_cost_factor=self._average_cost_factor(dataset),
+            pair_scales=self._pair_scales(annotated, stats, mb_plan),
         )
         schedule = generate_schedule(
             stats,
@@ -517,11 +582,17 @@ class ProgressiveER:
                 planned_makespan_before=plan.before.max,
                 planned_makespan_after=plan.after.max,
             )
-        job2 = self._run_resolution_job(annotated, schedule, job1.end_time)
+        job2 = self._run_resolution_job(
+            annotated, schedule, job1.end_time,
+            pruner=mb_plan.pruner if mb_plan is not None else None,
+        )
         # Plan statistics are pure functions of the deterministic schedule,
         # so merging them into the job counters keeps backend parity.
         for name, value in plan.counter_items().items():
             job2.counters.increment("balance", name, value)
+        if mb_plan is not None:
+            for name, value in mb_plan.counter_items().items():
+                job2.counters.increment("metablock", name, value)
         events = _first_discoveries(job2.events)
         return ProgressiveResult(
             dataset=dataset,
@@ -531,9 +602,55 @@ class ProgressiveER:
             job2=job2,
             duplicate_events=events,
             balance=plan,
+            metablock=mb_plan,
         )
 
     # ------------------------------------------------------------------
+
+    def _pair_scales(
+        self,
+        annotated: Sequence[AnnotatedEntity],
+        stats: DatasetStatistics,
+        mb_plan: Optional[MetablockPlan],
+    ) -> Optional[Dict[str, float]]:
+        """Per-block candidate-pair fractions for the estimation model.
+
+        In linkage mode a block of ``n_a`` source-``a`` and ``n_b``
+        source-``b`` entities only ever compares its ``n_a * n_b`` cross
+        pairs; under weighted node pruning only the plan's keep ratio of
+        a block's pairs survives.  Each root's fraction (factors multiply
+        when both apply) is assigned to its whole subtree — sub-block
+        composition tracks its root's closely, and the estimates only
+        steer scheduling, never correctness.
+        """
+        linkage = self.config.mode == "linkage"
+        wnp = mb_plan is not None and mb_plan.mode == "wnp"
+        if not linkage and not wnp:
+            return None
+        source_counts: Dict[Tuple[str, str], Dict[Optional[str], int]] = {}
+        if linkage:
+            for entity, keys in annotated:
+                for family, key in keys.items():
+                    if key is None:
+                        continue
+                    counts = source_counts.setdefault((family, key), {})
+                    counts[entity.source] = counts.get(entity.source, 0) + 1
+        scales: Dict[str, float] = {}
+        for family, roots in stats.roots.items():
+            for root in roots:
+                scale = 1.0
+                if linkage:
+                    counts = source_counts.get((family, root.key))
+                    if counts:
+                        total = pairs_count(sum(counts.values()))
+                        if total:
+                            scale *= cross_pairs_count(counts.values()) / total
+                if wnp:
+                    scale *= mb_plan.keep_ratios.get((family, root.key), 1.0)
+                if scale != 1.0:
+                    for block in root.subtree():
+                        scales[block.uid] = scale
+        return scales or None
 
     def _build_estimator(self, dataset: Dataset) -> DuplicateEstimator:
         """The duplicate estimator selected by the configuration."""
@@ -563,11 +680,15 @@ class ProgressiveER:
         annotated: Sequence[AnnotatedEntity],
         schedule: ProgressiveSchedule,
         start_time: float,
+        *,
+        pruner: Optional[WnpPruner] = None,
     ) -> JobResult:
         if self.config.routing == "block":
             job = MapReduceJob(
                 mapper_factory=lambda: BlockRoutingMapper(schedule, self.config.scheme),
-                reducer_factory=lambda: BlockRoutingReducer(schedule, self.config),
+                reducer_factory=lambda: BlockRoutingReducer(
+                    schedule, self.config, pruner
+                ),
                 partitioner=SequencePartitioner(schedule),
                 alpha=self.config.alpha,
                 name="progressive-resolution-naive",
@@ -575,7 +696,9 @@ class ProgressiveER:
         else:
             job = MapReduceJob(
                 mapper_factory=lambda: ResolutionMapper(schedule, self.config.scheme),
-                reducer_factory=lambda: ResolutionReducer(schedule, self.config),
+                reducer_factory=lambda: ResolutionReducer(
+                    schedule, self.config, pruner
+                ),
                 partitioner=SchedulePartitioner(schedule),
                 alpha=self.config.alpha,
                 name="progressive-resolution",

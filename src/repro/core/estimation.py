@@ -228,12 +228,22 @@ class EstimationModel:
         dataset_size: int,
         *,
         avg_cost_factor: float = 1.0,
+        pair_scales: Optional[Dict[str, float]] = None,
     ) -> None:
         self.config = config
         self.cost_model = cost_model
         self.estimator = estimator
         self.dataset_size = dataset_size
         self.pair_cost = cost_model.compare * avg_cost_factor
+        #: Per-block fraction of raw pairs that are actual candidates —
+        #: the cross-source fraction in clean-clean linkage and/or the
+        #: meta-blocking keep ratio.  Scaling ``cov`` by it propagates
+        #: through Equations 2-5 (``d``, ``Remain``, ``CostP``) and —
+        #: since ``CostF`` multiplies the reachable pairs by
+        #: ``cov / total`` — shrinks full-resolution costs to the pairs
+        #: the mechanism will really charge, keeping PairRange's
+        #: uniform-per-position load model accurate.
+        self.pair_scales = pair_scales or {}
         self.estimates: Dict[str, BlockEstimate] = {}
 
     # -- initial bottom-up pass -----------------------------------------
@@ -244,6 +254,7 @@ class EstimationModel:
             self._estimate_block(block, float(coverage[block.uid]))
 
     def _estimate_block(self, block: Block, cov: float) -> None:
+        cov *= self.pair_scales.get(block.uid, 1.0)
         levels = self.config.levels
         estimate = BlockEstimate(
             cov=cov,

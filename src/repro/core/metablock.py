@@ -1,0 +1,391 @@
+"""Meta-blocking pre-pass: block filtering and weighted node pruning.
+
+Meta-blocking (Papadakis et al., "Meta-Blocking: Taking Entity Resolution
+to the Next Level", TKDE 2014; block filtering per "Scaling Entity
+Resolution to Large, Heterogeneous Data with Enhanced Meta-blocking",
+EDBT 2016) restructures a redundancy-positive block collection *before*
+resolution: every pair's co-occurrence pattern across blocks is evidence
+of match likelihood, so low-evidence candidates can be discarded without
+ever comparing them.
+
+This module implements the two classic schemes on the *level-1* block
+collection of a :class:`~repro.blocking.functions.BlockingScheme` (one
+block per family main key — the redundancy-positive layer; sub-blocks
+refine rather than add co-occurrence evidence):
+
+* **Block filtering** (``bf``): each entity keeps only its
+  ``ceil(ratio * k)`` smallest level-1 blocks (smaller blocks are more
+  discriminative).  The dropped ``(entity, family)`` memberships are
+  removed *at annotation time*, so Job 1's statistics, the schedule and
+  Job 2's routing all see the shrunken blocks — no per-pair veto needed.
+* **Weighted node pruning** (``wnp``): every co-occurring pair is weighed
+  (``cbs`` — common level-1 blocks — or ``js`` — Jaccard over the key
+  sets), each entity's retention threshold is the mean weight of its
+  incident pairs, and a pair survives if *either* endpoint retains it
+  (weight >= min of the endpoint thresholds, ties kept).  The blocks are
+  untouched; the decision ships to Job 2's reducers as a picklable
+  :class:`WnpPruner` consulted per pair at zero virtual cost.
+
+Both schemes are pure functions of the dataset and scheme, so the
+pre-pass is bit-identical across serial and process backends and under
+fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..blocking.functions import BlockingScheme
+from ..data.entity import Entity, Pair, pair_key, pairs_count
+
+#: Recognized values of the ``metablock`` knob.
+METABLOCK_MODES: Tuple[str, ...] = ("off", "bf", "wnp")
+
+#: An entity's level-1 signature: family -> main blocking key (only
+#: families whose key function applies to the entity).
+Signature = Dict[str, str]
+
+
+def level1_signatures(
+    entities: Iterable[Entity], scheme: BlockingScheme
+) -> Dict[int, Signature]:
+    """Per entity id, its non-``None`` level-1 keys by family."""
+    mains = [(family, scheme.main_function(family)) for family in scheme.family_order]
+    signatures: Dict[int, Signature] = {}
+    for entity in entities:
+        sig: Signature = {}
+        for family, function in mains:
+            key = function.key_of(entity)
+            if key is not None:
+                sig[family] = key
+        signatures[entity.id] = sig
+    return signatures
+
+
+def level1_blocks(
+    signatures: Dict[int, Signature], family_order: Sequence[str]
+) -> Dict[Tuple[str, str], List[int]]:
+    """``(family, key) -> sorted member ids`` of every level-1 block."""
+    blocks: Dict[Tuple[str, str], List[int]] = {}
+    for eid in sorted(signatures):
+        for family in family_order:
+            key = signatures[eid].get(family)
+            if key is not None:
+                blocks.setdefault((family, key), []).append(eid)
+    return blocks
+
+
+def pair_weight(sig_i: Signature, sig_j: Signature, weighting: str) -> float:
+    """Meta-blocking edge weight of a pair from its level-1 signatures.
+
+    ``cbs``: number of level-1 blocks the pair co-occurs in.  ``js``:
+    Jaccard similarity of the two entities' block sets.  Both are exact
+    rationals of small integers, so recomputing the weight worker-side
+    from the shipped signatures is bit-identical to the driver's pass.
+    """
+    common = sum(1 for family, key in sig_i.items() if sig_j.get(family) == key)
+    if weighting == "cbs":
+        return float(common)
+    if weighting == "js":
+        union = len(sig_i) + len(sig_j) - common
+        return common / union if union else 0.0
+    raise ValueError(f"unknown metablock weighting {weighting!r}")
+
+
+def block_filter(
+    signatures: Dict[int, Signature],
+    scheme: BlockingScheme,
+    ratio: float,
+) -> FrozenSet[Tuple[int, str]]:
+    """Block filtering: the ``(entity id, family)`` memberships to drop.
+
+    Each entity ranks its level-1 blocks by ``(size, dominance rank,
+    key)`` ascending and keeps the first ``ceil(ratio * k)`` — the
+    deterministic tie-break makes the pruned set a pure function of the
+    dataset and scheme.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"metablock ratio must be in (0, 1], got {ratio}")
+    blocks = level1_blocks(signatures, scheme.family_order)
+    sizes = {block_key: len(members) for block_key, members in blocks.items()}
+    rank = {family: index for index, family in enumerate(scheme.family_order)}
+    pruned: Set[Tuple[int, str]] = set()
+    for eid, sig in signatures.items():
+        mine = [
+            (sizes[(family, key)], rank[family], key, family)
+            for family, key in sig.items()
+        ]
+        keep = ceil(ratio * len(mine))
+        if keep >= len(mine):
+            continue
+        mine.sort()
+        for _, _, _, family in mine[keep:]:
+            pruned.add((eid, family))
+    return frozenset(pruned)
+
+
+class WnpPruner:
+    """Weighted-node-pruning pair veto, shippable to reduce tasks.
+
+    Holds the level-1 signatures and the per-entity mean-weight retention
+    thresholds; :meth:`keep` recomputes the pair weight from the
+    signatures (pure, deterministic) and retains the pair when either
+    endpoint's threshold admits it.  Plain-dict state keeps the object
+    picklable for process backends and service snapshots.
+    """
+
+    def __init__(
+        self,
+        signatures: Dict[int, Signature],
+        thresholds: Dict[int, float],
+        weighting: str,
+    ) -> None:
+        self.signatures = signatures
+        self.thresholds = thresholds
+        self.weighting = weighting
+
+    def keep(self, e1: Entity, e2: Entity) -> bool:
+        """Whether the pair survives pruning (ties kept)."""
+        sig_i = self.signatures.get(e1.id)
+        sig_j = self.signatures.get(e2.id)
+        if not sig_i or not sig_j:
+            return True
+        th_i = self.thresholds.get(e1.id)
+        th_j = self.thresholds.get(e2.id)
+        if th_i is None or th_j is None:
+            # An endpoint that never weighed a pair imposes no bound.
+            return True
+        return pair_weight(sig_i, sig_j, self.weighting) >= min(th_i, th_j)
+
+
+def _responsible(
+    sig_i: Signature, sig_j: Signature, family: str, family_order: Sequence[str]
+) -> bool:
+    """Whether ``family``'s block is the pair's *first* common block —
+    the one that weighs the pair, so each pair counts exactly once."""
+    for candidate in family_order:
+        key = sig_i.get(candidate)
+        if key is not None and sig_j.get(candidate) == key:
+            return candidate == family
+    return False
+
+
+@dataclass
+class MetablockPlan:
+    """Everything one meta-blocking pre-pass produced.
+
+    Attributes:
+        mode: ``"bf"`` or ``"wnp"`` (``"off"`` runs build no plan).
+        weighting: edge-weighting scheme (``wnp`` only; recorded for
+            reports either way).
+        ratio: block-filtering retention ratio (``bf`` only).
+        pruned: ``(entity id, family)`` memberships dropped by ``bf``
+            (empty for ``wnp`` — its blocks are untouched).
+        pruner: the per-pair veto for ``wnp`` (``None`` for ``bf``).
+        keep_ratios: per level-1 block ``(family, key)``, the fraction of
+            its pairs that survive pruning — feeds the cost re-estimation
+            of full (root) block resolutions.
+        memberships_total / memberships_kept: level-1 block memberships
+            before / after ``bf``.
+        pairs_total / pairs_kept: distinct level-1 candidate pairs before
+            / after the pre-pass.
+    """
+
+    mode: str
+    weighting: str
+    ratio: float
+    pruned: FrozenSet[Tuple[int, str]] = frozenset()
+    pruner: Optional[WnpPruner] = None
+    keep_ratios: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    memberships_total: int = 0
+    memberships_kept: int = 0
+    pairs_total: int = 0
+    pairs_kept: int = 0
+
+    @property
+    def pair_reduction(self) -> float:
+        """``pairs_total / pairs_kept`` (1.0 when nothing was pruned)."""
+        return self.pairs_total / self.pairs_kept if self.pairs_kept else float("inf")
+
+    def counter_items(self) -> Dict[str, int]:
+        """Integer counters for the job-counter merge (backend-invariant)."""
+        return {
+            "memberships_total": self.memberships_total,
+            "memberships_kept": self.memberships_kept,
+            "memberships_pruned": self.memberships_total - self.memberships_kept,
+            "pairs_total": self.pairs_total,
+            "pairs_kept": self.pairs_kept,
+            "pairs_pruned": self.pairs_total - self.pairs_kept,
+        }
+
+
+def candidate_pairs(
+    entities: Sequence[Entity],
+    scheme: BlockingScheme,
+    *,
+    pruned: FrozenSet[Tuple[int, str]] = frozenset(),
+    pruner: Optional[WnpPruner] = None,
+    cross_source_only: bool = False,
+) -> Set[Pair]:
+    """The distinct level-1 candidate-pair set under the given pre-pass.
+
+    This is the *pair universe* the progressive pipeline can ever compare
+    (windowing may visit fewer): pairs co-occurring in at least one
+    unfiltered level-1 block, surviving the ``wnp`` veto and — in linkage
+    mode — joining entities of different sources.  Used by the property
+    and differential suites as the reference oracle.
+    """
+    signatures = level1_signatures(entities, scheme)
+    if pruned:
+        signatures = {
+            eid: {f: k for f, k in sig.items() if (eid, f) not in pruned}
+            for eid, sig in signatures.items()
+        }
+    by_id = {e.id: e for e in entities}
+    pairs: Set[Pair] = set()
+    for members in level1_blocks(signatures, scheme.family_order).values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                a, b = by_id[members[i]], by_id[members[j]]
+                key = pair_key(a.id, b.id)
+                if key in pairs:
+                    continue
+                if cross_source_only and a.source == b.source:
+                    continue
+                if pruner is not None and not pruner.keep(a, b):
+                    continue
+                pairs.add(key)
+    return pairs
+
+
+def build_metablock_plan(
+    entities: Sequence[Entity],
+    scheme: BlockingScheme,
+    mode: str,
+    *,
+    ratio: float = 0.8,
+    weighting: str = "cbs",
+) -> MetablockPlan:
+    """Run the selected pre-pass over the dataset's level-1 blocks."""
+    if mode not in METABLOCK_MODES or mode == "off":
+        raise ValueError(f"no metablock plan to build for mode {mode!r}")
+    signatures = level1_signatures(entities, scheme)
+    blocks = level1_blocks(signatures, scheme.family_order)
+    memberships_total = sum(len(members) for members in blocks.values())
+    pairs_total = len(_distinct_pairs(blocks))
+
+    if mode == "bf":
+        pruned = block_filter(signatures, scheme, ratio)
+        filtered = {
+            eid: {f: k for f, k in sig.items() if (eid, f) not in pruned}
+            for eid, sig in signatures.items()
+        }
+        kept_blocks = level1_blocks(filtered, scheme.family_order)
+        return MetablockPlan(
+            mode=mode,
+            weighting=weighting,
+            ratio=ratio,
+            pruned=pruned,
+            memberships_total=memberships_total,
+            memberships_kept=memberships_total - len(pruned),
+            pairs_total=pairs_total,
+            pairs_kept=len(_distinct_pairs(kept_blocks)),
+        )
+
+    # -- wnp ------------------------------------------------------------
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for family in scheme.family_order:
+        for (block_family, _), members in blocks.items():
+            if block_family != family:
+                continue
+            for i in range(len(members)):
+                sig_i = signatures[members[i]]
+                for j in range(i + 1, len(members)):
+                    sig_j = signatures[members[j]]
+                    if not _responsible(sig_i, sig_j, family, scheme.family_order):
+                        continue
+                    weight = pair_weight(sig_i, sig_j, weighting)
+                    for eid in (members[i], members[j]):
+                        sums[eid] = sums.get(eid, 0.0) + weight
+                        counts[eid] = counts.get(eid, 0) + 1
+    thresholds = {eid: sums[eid] / counts[eid] for eid in sums}
+    pruner = WnpPruner(signatures, thresholds, weighting)
+
+    keep_ratios: Dict[Tuple[str, str], float] = {}
+    kept_pairs: Set[Pair] = set()
+    for block_key, members in blocks.items():
+        total = pairs_count(len(members))
+        if total == 0:
+            continue
+        kept = 0
+        for i in range(len(members)):
+            sig_i = signatures[members[i]]
+            th_i = thresholds.get(members[i])
+            for j in range(i + 1, len(members)):
+                th_j = thresholds.get(members[j])
+                if th_i is None or th_j is None:
+                    retained = True
+                else:
+                    weight = pair_weight(sig_i, signatures[members[j]], weighting)
+                    retained = weight >= min(th_i, th_j)
+                if retained:
+                    kept += 1
+                    kept_pairs.add(pair_key(members[i], members[j]))
+        keep_ratios[block_key] = kept / total
+    return MetablockPlan(
+        mode=mode,
+        weighting=weighting,
+        ratio=ratio,
+        pruner=pruner,
+        keep_ratios=keep_ratios,
+        memberships_total=memberships_total,
+        memberships_kept=memberships_total,
+        pairs_total=pairs_total,
+        pairs_kept=len(kept_pairs),
+    )
+
+
+def _distinct_pairs(blocks: Dict[Tuple[str, str], List[int]]) -> Set[Pair]:
+    pairs: Set[Pair] = set()
+    for members in blocks.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                pairs.add(pair_key(members[i], members[j]))
+    return pairs
+
+
+def format_metablock_summary(plan: MetablockPlan) -> str:
+    """Human-readable pruning summary table for reports and the CLI."""
+    rows = [
+        ("mode", plan.mode),
+        ("weighting", plan.weighting if plan.mode == "wnp" else "-"),
+        ("ratio", f"{plan.ratio:.2f}" if plan.mode == "bf" else "-"),
+        ("memberships", f"{plan.memberships_kept}/{plan.memberships_total}"),
+        ("candidate pairs", f"{plan.pairs_kept}/{plan.pairs_total}"),
+        (
+            "pair reduction",
+            "inf" if not plan.pairs_kept else f"{plan.pair_reduction:.2f}x",
+        ),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = ["meta-blocking pre-pass"]
+    lines += [f"  {name.ljust(width)}  {value}" for name, value in rows]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "METABLOCK_MODES",
+    "Signature",
+    "level1_signatures",
+    "level1_blocks",
+    "pair_weight",
+    "block_filter",
+    "WnpPruner",
+    "MetablockPlan",
+    "candidate_pairs",
+    "build_metablock_plan",
+    "format_metablock_summary",
+]

@@ -19,7 +19,7 @@ the paper's actual implementation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..blocking.blocks import Block
 from ..blocking.functions import BlockingFunction, BlockingScheme
@@ -110,16 +110,35 @@ class DatasetStatistics:
 
 class AnnotateMapper(Mapper):
     """Map phase: annotate each entity with its main keys and route it to
-    every main block containing it."""
+    every main block containing it.
 
-    def __init__(self, scheme: BlockingScheme) -> None:
+    ``pruned`` is an optional set of ``(entity id, family)`` memberships
+    dropped by a meta-blocking block-filtering pre-pass: a pruned key is
+    annotated as ``None``, so the membership disappears from the block
+    statistics *and* — because Job 2's mappers route from these same
+    annotations — from resolution routing, with no further plumbing.
+    """
+
+    def __init__(
+        self,
+        scheme: BlockingScheme,
+        pruned: Optional[FrozenSet[Tuple[int, str]]] = None,
+    ) -> None:
         self._scheme = scheme
+        self._pruned = pruned
         self.annotated: List[AnnotatedEntity] = []
 
     def map(self, record: Entity, context: TaskContext) -> None:
         keys: Dict[str, Optional[str]] = {}
         for family in self._scheme.family_order:
-            keys[family] = self._scheme.main_function(family).key_of(record)
+            key = self._scheme.main_function(family).key_of(record)
+            if (
+                key is not None
+                and self._pruned is not None
+                and (record.id, family) in self._pruned
+            ):
+                key = None
+            keys[family] = key
         annotated: AnnotatedEntity = (record, keys)
         self.annotated.append(annotated)
         for family, key in keys.items():
@@ -236,14 +255,27 @@ def run_statistics_job(
     scheme: BlockingScheme,
     *,
     start_time: float = 0.0,
+    pruned: Optional[FrozenSet[Tuple[int, str]]] = None,
 ) -> Tuple[List[AnnotatedEntity], DatasetStatistics, JobResult]:
-    """Execute Job 1 and return (annotated dataset, statistics, job result)."""
+    """Execute Job 1 and return (annotated dataset, statistics, job result).
+
+    ``pruned`` applies a block-filtering pre-pass (see
+    :class:`AnnotateMapper`): both the worker-side annotation and the
+    driver-side derivation below mask the dropped memberships, so the two
+    stay the same deterministic function of the input.
+    """
     job = MapReduceJob(
-        mapper_factory=lambda: AnnotateMapper(scheme),
+        mapper_factory=lambda: AnnotateMapper(scheme, pruned),
         reducer_factory=lambda: BlockStatsReducer(scheme),
         name="progressive-blocking-statistics",
     )
     result = cluster.run_job(job, dataset.entities, start_time=start_time)
+
+    def _key(entity: Entity, family: str) -> Optional[str]:
+        if pruned is not None and (entity.id, family) in pruned:
+            return None
+        return scheme.main_function(family).key_of(entity)
+
     # The annotated dataset is a deterministic function of the input — the
     # job charges its cost, but the driver derives it directly rather than
     # collecting mapper side effects (which would be lost on a process
@@ -251,10 +283,7 @@ def run_statistics_job(
     annotated: List[AnnotatedEntity] = [
         (
             entity,
-            {
-                family: scheme.main_function(family).key_of(entity)
-                for family in scheme.family_order
-            },
+            {family: _key(entity, family) for family in scheme.family_order},
         )
         for entity in dataset.entities
     ]

@@ -4,8 +4,16 @@ synthetic dataset families standing in for CiteSeerX and OL-Books."""
 from .books import books_perturber, make_books
 from .citeseer import citeseer_perturber, make_citeseer
 from .dataset import Dataset
-from .entity import Entity, Pair, entity_pair_key, pair_key, pairs_count
+from .entity import (
+    Entity,
+    Pair,
+    cross_pairs_count,
+    entity_pair_key,
+    pair_key,
+    pairs_count,
+)
 from .generator import GeneratorConfig, RecordFactory, generate_dataset
+from .linkage import SOURCE_A, SOURCE_B, linkage_perturber, make_linkage
 from .people import make_people, people_perturber
 from .perturb import NoiseProfile, Perturber
 from .skewed import make_skewed, skewed_perturber
@@ -24,6 +32,7 @@ __all__ = [
     "pair_key",
     "entity_pair_key",
     "pairs_count",
+    "cross_pairs_count",
     "Dataset",
     "GeneratorConfig",
     "RecordFactory",
@@ -44,4 +53,8 @@ __all__ = [
     "people_perturber",
     "make_skewed",
     "skewed_perturber",
+    "make_linkage",
+    "linkage_perturber",
+    "SOURCE_A",
+    "SOURCE_B",
 ]

@@ -97,15 +97,25 @@ class Dataset:
     # -- persistence -------------------------------------------------------
 
     def to_csv(self, path: Path | str) -> None:
-        """Write the dataset (and cluster ids, when present) to a CSV file."""
+        """Write the dataset (and cluster ids, when present) to a CSV file.
+
+        Multi-source datasets (any entity with a ``source`` tag) get an
+        extra ``source`` column ahead of the attribute columns so the tag
+        round-trips through :meth:`from_csv`.
+        """
         path = Path(path)
         columns = self.attributes()
+        tagged = any(e.source is not None for e in self.entities)
         with path.open("w", newline="", encoding="utf-8") as fh:
             writer = csv.writer(fh)
-            writer.writerow(["id", "cluster", *columns])
+            fixed = ["id", "cluster", "source"] if tagged else ["id", "cluster"]
+            writer.writerow([*fixed, *columns])
             for e in self.entities:
                 cluster = self.clusters.get(e.id, "")
-                writer.writerow([e.id, cluster, *[e.get(c) for c in columns]])
+                row = [e.id, cluster]
+                if tagged:
+                    row.append(e.source or "")
+                writer.writerow([*row, *[e.get(c) for c in columns]])
 
     @classmethod
     def from_csv(cls, path: Path | str, name: str = "dataset") -> "Dataset":
@@ -118,13 +128,16 @@ class Dataset:
             header = next(reader)
             if header[:2] != ["id", "cluster"]:
                 raise ValueError(f"unrecognized dataset CSV header: {header[:2]}")
-            columns = header[2:]
+            tagged = header[2:3] == ["source"]
+            skip = 3 if tagged else 2
+            columns = header[skip:]
             for row in reader:
                 eid = int(row[0])
                 if row[1] != "":
                     clusters[eid] = int(row[1])
-                attrs = {c: v for c, v in zip(columns, row[2:]) if v != ""}
-                entities.append(Entity(id=eid, attrs=attrs))
+                source = (row[2] or None) if tagged else None
+                attrs = {c: v for c, v in zip(columns, row[skip:]) if v != ""}
+                entities.append(Entity(id=eid, attrs=attrs, source=source))
         return cls(entities=entities, clusters=clusters, name=name)
 
     def sample(self, fraction: float, *, seed: int = 0) -> "Dataset":

@@ -19,10 +19,14 @@ class Entity:
         id: unique integer identifier within its dataset.
         attrs: attribute name -> string value; missing attributes are
             simply absent (or empty strings).
+        source: origin tag for multi-source scenarios (clean-clean
+            linkage tags records ``"a"`` / ``"b"``); ``None`` for the
+            ordinary single-source dirty setting.
     """
 
     id: int
     attrs: Dict[str, str] = field(hash=False, compare=False, default_factory=dict)
+    source: Optional[str] = field(hash=False, compare=False, default=None)
 
     def get(self, attribute: str, default: str = "") -> str:
         """Value of ``attribute`` (empty string when missing)."""
@@ -67,4 +71,22 @@ def pairs_count(n: int) -> int:
     return n * (n - 1) // 2
 
 
-__all__ = ["Entity", "Pair", "pair_key", "entity_pair_key", "pairs_count"]
+def cross_pairs_count(counts: Iterable[int]) -> int:
+    """Unordered pairs spanning *different* groups of the given sizes.
+
+    In clean-clean linkage a block with per-source sizes ``(n_a, n_b)``
+    yields ``n_a * n_b`` comparable pairs; same-source pairs can never be
+    duplicates and are vetoed at zero cost.
+    """
+    sizes = list(counts)
+    return pairs_count(sum(sizes)) - sum(pairs_count(n) for n in sizes)
+
+
+__all__ = [
+    "Entity",
+    "Pair",
+    "pair_key",
+    "entity_pair_key",
+    "pairs_count",
+    "cross_pairs_count",
+]

@@ -33,6 +33,7 @@ from ..baselines.basic import BasicConfig, BasicResult
 from ..core.balance import BALANCE_STRATEGIES
 from ..core.config import ApproachConfig
 from ..core.driver import ProgressiveResult
+from ..core.metablock import METABLOCK_MODES
 from ..data.dataset import Dataset
 from ..data.entity import Pair
 from ..mapreduce.clock import CostModel
@@ -87,6 +88,11 @@ class RunSpec:
             backend-independent; ``None`` (the default) runs fault-free.
         batch_pairs: batched similarity-kernel width for this run (``None``
             keeps the module default; ``1`` forces the scalar path).
+        metablock: meta-blocking pre-pass for the progressive approach —
+            ``"off"`` (default), ``"bf"`` (block filtering) or ``"wnp"``
+            (weighted node pruning); knobs live on the config
+            (``metablock_ratio`` / ``metablock_weighting``).  Rejected for
+            Basic runs — the baseline has no schedule to prune.
     """
 
     dataset: Optional[Dataset]
@@ -104,6 +110,7 @@ class RunSpec:
     metrics: Optional[MetricsRegistry] = None
     faults: Optional[FaultPlan] = None
     batch_pairs: Optional[int] = None
+    metablock: str = "off"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -154,6 +161,16 @@ class RunSpec:
                 f"batch_pairs must be a positive integer or None, got "
                 f"{self.batch_pairs!r} (1 forces the scalar per-pair path)"
             )
+        if self.metablock not in METABLOCK_MODES:
+            problems.append(
+                f"unknown metablock mode {self.metablock!r}; pick one of "
+                f"{METABLOCK_MODES}"
+            )
+        elif self.metablock != "off" and self.is_basic:
+            problems.append(
+                f"metablock={self.metablock!r} needs the progressive "
+                "approach; the Basic baseline has no schedule to prune"
+            )
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             problems.append(
                 f"faults must be a FaultPlan or None, got "
@@ -185,6 +202,8 @@ class RunSpec:
         if self.is_basic:
             threshold = self.config.popcorn_threshold
             return f"basic[{'F' if threshold is None else threshold}]"
+        if self.metablock != "off":
+            return f"ours[{self.strategy}+{self.metablock}]"
         return f"ours[{self.strategy}]"
 
     def with_label(self, label: str) -> "RunSpec":

@@ -82,6 +82,15 @@ class ResolveStats:
         distincts: pairs declared distinct.
         skipped: pairs vetoed by ``should_resolve`` (redundancy / already
             resolved in a child block).
+        filtered: pairs vetoed by the scenario-level ``pair_filter``
+            (e.g. same-source pairs in clean-clean linkage) — not
+            candidates at all, so they cost nothing and never touch the
+            stop budget.
+        pruned: pairs vetoed by the meta-blocking ``prune`` predicate.
+            Pruned pairs cost nothing but *do* consume the distinct-pair
+            budget (see :class:`DistinctBudget`), so a pruned run stops no
+            later than its unpruned twin at every stream position — the
+            structural guarantee behind "pruned output ⊆ unpruned output".
         exhausted: True when the pair stream ran dry (block fully resolved
             up to the mechanism's window), False when the stop condition
             fired first.
@@ -91,6 +100,8 @@ class ResolveStats:
     duplicates: int = 0
     distincts: int = 0
     skipped: int = 0
+    filtered: int = 0
+    pruned: int = 0
     exhausted: bool = False
 
 
@@ -123,7 +134,12 @@ class DistinctBudget:
         self.threshold = threshold
 
     def should_stop(self, stats: ResolveStats, was_duplicate: bool) -> bool:
-        return stats.distincts >= self.threshold
+        # Meta-blocking-pruned pairs consume budget as if they had been
+        # compared and found distinct: at every stream position the pruned
+        # run has burned at least as much budget as its unpruned twin, so
+        # it stops no later — which is what makes the pruned run's output
+        # a subset of the unpruned run's.  Plain runs have pruned == 0.
+        return stats.distincts + stats.pruned >= self.threshold
 
 
 class Mechanism(ABC):
@@ -195,6 +211,8 @@ def resolve_block(
     charge: ChargeFn,
     on_duplicate: PairCallback,
     should_resolve: Optional[ShouldResolve] = None,
+    pair_filter: Optional[ShouldResolve] = None,
+    prune: Optional[ShouldResolve] = None,
     stop: Optional[StopCondition] = None,
     on_resolved: Optional[Callable[[Entity, Entity, bool], None]] = None,
     pair_range: Optional[Tuple[int, int]] = None,
@@ -215,6 +233,16 @@ def resolve_block(
         on_duplicate: called for every pair declared duplicate.
         should_resolve: optional veto; a vetoed pair costs nothing and is
             counted in ``stats.skipped``.
+        pair_filter: optional scenario-level candidate predicate (e.g.
+            "cross-source only" in clean-clean linkage).  A rejected pair
+            costs nothing, is counted in ``stats.filtered`` and does not
+            touch the stop budget — it was never a candidate.
+        prune: optional meta-blocking veto.  A rejected pair costs
+            nothing and is counted in ``stats.pruned``; pruned pairs *do*
+            consume the :class:`DistinctBudget` (checked in stream order),
+            so pruning can only make a block stop earlier, never extend
+            its resolution deeper into the stream.  Must be a pure
+            function of the entity pair.
         stop: stop condition (default: run to exhaustion).
         on_resolved: optional observer called for every *performed*
             comparison with the verdict (used to track per-tree resolved
@@ -255,6 +283,14 @@ def resolve_block(
                 continue
             if last is not None and position >= last:
                 break
+            if pair_filter is not None and not pair_filter(e1, e2):
+                stats.filtered += 1
+                continue
+            if prune is not None and not prune(e1, e2):
+                stats.pruned += 1
+                if condition.should_stop(stats, False):
+                    return stats
+                continue
             if should_resolve is not None and not should_resolve(e1, e2):
                 stats.skipped += 1
                 continue
@@ -274,9 +310,11 @@ def resolve_block(
         return stats
 
     batcher = BatchMatcher(matcher)
-    # Pending entries in stream order: a pair to decide, or None for a
-    # vetoed position (replayed as a skip so stats interleave identically).
-    pending: List[Optional[Tuple[Entity, Entity]]] = []
+    # Pending entries in stream order: a pair to decide, or the stat name
+    # ("skipped" / "filtered" / "pruned") of a vetoed position, replayed so
+    # stats — and budget consumption by pruned pairs — interleave
+    # identically to the scalar loop.
+    pending: List[object] = []
     to_decide: List[Tuple[Entity, Entity]] = []
     batch_idents = set()
 
@@ -289,8 +327,11 @@ def resolve_block(
         index = 0
         stopped = False
         for entry in pending:
-            if entry is None:
-                stats.skipped += 1
+            if isinstance(entry, str):
+                setattr(stats, entry, getattr(stats, entry) + 1)
+                if entry == "pruned" and condition.should_stop(stats, False):
+                    stopped = True
+                    break
                 continue
             e1, e2 = entry
             charge_compare(cost_model.compare * factors[index])
@@ -319,6 +360,12 @@ def resolve_block(
             continue
         if last is not None and position >= last:
             break
+        if pair_filter is not None and not pair_filter(e1, e2):
+            pending.append("filtered")
+            continue
+        if prune is not None and not prune(e1, e2):
+            pending.append("pruned")
+            continue
         ident = (e1.id, e2.id) if e1.id <= e2.id else (e2.id, e1.id)
         if ident in batch_idents:
             # The same pair again before the first occurrence was decided:
@@ -326,7 +373,7 @@ def resolve_block(
             if _flush():
                 return stats
         if should_resolve is not None and not should_resolve(e1, e2):
-            pending.append(None)
+            pending.append("skipped")
             continue
         pending.append((e1, e2))
         to_decide.append((e1, e2))

@@ -218,12 +218,14 @@ class DeltaReducer(Reducer):
         *,
         min_family_matches: int = 2,
         batch_pairs: Optional[int] = None,
+        cross_source_only: bool = False,
     ) -> None:
         self._matcher = matcher
         self._family_order = tuple(family_order)
         self._shards = shards
         self._min_matches = min(max(1, min_family_matches), len(self._family_order))
         self._batch_pairs = batch_pairs
+        self._cross_source_only = cross_source_only
         self._batcher: Optional[BatchMatcher] = None
 
     def _candidates(self, key: str, members: Sequence[DeltaRecord]) -> List[Tuple[Entity, Entity]]:
@@ -235,6 +237,11 @@ class DeltaReducer(Reducer):
             for i in range(j):
                 entity_i, keys_i, new_i = members[i]
                 if not (new_i or new_j):
+                    continue
+                if self._cross_source_only and entity_i.source == entity_j.source:
+                    # Clean-clean linkage: same-source pairs are never
+                    # candidates.  Pure in the pair, so batch-partition
+                    # invariance is untouched.
                     continue
                 matched = matching_families(keys_i, keys_j, self._family_order)
                 if len(matched) < self._min_matches or matched[0] != family:
@@ -287,6 +294,7 @@ def build_delta_job(
     *,
     min_family_matches: int = 2,
     batch_pairs: Optional[int] = None,
+    cross_source_only: bool = False,
     alpha: Optional[float] = None,
     name: str = "delta-resolution",
 ) -> MapReduceJob:
@@ -305,6 +313,7 @@ def build_delta_job(
             shards,
             min_family_matches=min_family_matches,
             batch_pairs=batch_pairs,
+            cross_source_only=cross_source_only,
         ),
         partitioner=DeltaPartitioner(dict(plan.assignment)),
         key_sort=lambda label: (ranks.get(label, fallback), label),

@@ -47,7 +47,7 @@ def config_fingerprint(config: ApproachConfig, min_family_matches: int) -> str:
     state being restored.
     """
     scheme = config.scheme
-    parts: List[str] = [f"min_matches={min_family_matches}"]
+    parts: List[str] = [f"min_matches={min_family_matches}", f"mode={config.mode}"]
     for family in scheme.family_order:
         functions = scheme.families[family]
         parts.append(
@@ -234,6 +234,7 @@ class ResolverService:
             self.config.scheme.family_order,
             min_family_matches=self.min_family_matches,
             batch_pairs=self.spec.batch_pairs,
+            cross_source_only=self.config.mode == "linkage",
             alpha=self.config.alpha,
             name=f"delta-resolution-{batch}",
         )
@@ -346,7 +347,12 @@ class ResolverService:
             "batches": self._batches,
             "comparisons": self._comparisons,
             "entities": [
-                {"id": s.entity.id, "attrs": dict(s.entity.attrs), "batch": s.batch}
+                {
+                    "id": s.entity.id,
+                    "attrs": dict(s.entity.attrs),
+                    "source": s.entity.source,
+                    "batch": s.batch,
+                }
                 for s in stored
             ],
             "events": [
@@ -384,7 +390,9 @@ class ResolverService:
             )
         by_batch: Dict[int, List[Entity]] = {}
         for row in snapshot["entities"]:
-            entity = Entity(int(row["id"]), dict(row["attrs"]))
+            entity = Entity(
+                int(row["id"]), dict(row["attrs"]), source=row.get("source")
+            )
             by_batch.setdefault(int(row["batch"]), []).append(entity)
         for batch in sorted(by_batch):
             annotated = [

@@ -112,6 +112,7 @@ class ResolverSession:
                     strategy=spec.strategy,
                     seed=spec.seed,
                     balance=spec.balance,
+                    metablock=spec.metablock,
                 ).run(spec.dataset)
         finally:
             if spec.batch_pairs is not None:

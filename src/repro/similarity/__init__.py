@@ -22,6 +22,7 @@ from .matchers import (
     books_matcher,
     citeseer_matcher,
     clear_similarity_cache,
+    linkage_matcher,
     people_matcher,
     similarity_cache_counters,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "citeseer_matcher",
     "books_matcher",
     "people_matcher",
+    "linkage_matcher",
     "word_tokens",
     "qgrams",
     "jaccard",

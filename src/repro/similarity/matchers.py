@@ -460,6 +460,22 @@ def people_matcher(threshold: float = 0.62, *, cache: bool = False) -> WeightedM
     )
 
 
+def linkage_matcher(threshold: float = 0.55, *, cache: bool = False) -> WeightedMatcher:
+    """Match function for clean-clean linkage: only the attributes *shared*
+    by the two source schemas are comparable (title / authors / year), so
+    the weights concentrate there — edit distance on the free-text fields,
+    exact matching on the year."""
+    return WeightedMatcher(
+        rules=[
+            AttributeRule("title", weight=0.55, comparator="edit"),
+            AttributeRule("authors", weight=0.30, comparator="edit"),
+            AttributeRule("year", weight=0.15, comparator="exact"),
+        ],
+        threshold=threshold,
+        cache=cache,
+    )
+
+
 __all__ = [
     "AttributeRule",
     "WeightedMatcher",
@@ -468,6 +484,7 @@ __all__ = [
     "citeseer_matcher",
     "books_matcher",
     "people_matcher",
+    "linkage_matcher",
     "REFERENCE_LENGTH",
     "MIN_COST_FACTOR",
 ]

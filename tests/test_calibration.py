@@ -22,6 +22,7 @@ from repro.core.calibration import (
 )
 from repro.data import make_citeseer
 from repro.evaluation import ExperimentRun, RunSpec
+from repro.mapreduce.clock import CostModel
 from repro.mapreduce.types import Counters, JobResult, TaskResult
 from repro.observability import format_calibration_report
 
@@ -196,3 +197,82 @@ class TestEndToEnd:
         assert report["samples_used"] == len(samples)
         scored = [s for s in samples if s.wall_seconds >= MIN_WALL_SECONDS]
         assert report["samples_scored"] == len(scored)
+
+
+class TestCostModelPreset:
+    """CostModel.from_calibration: fitted constants -> a usable model."""
+
+    CONSTANTS = {
+        "compare": 1.0,
+        "emit": 0.0,
+        "other": 0.10439488395091842,
+        "read": 1.0487480702047354,
+        "shuffle": 0.0,
+        "sort": 0.035969993165063184,
+        "task": 0.9852139299701528,
+    }
+
+    def test_from_fitted_constants_mapping(self):
+        model = CostModel.from_calibration(self.CONSTANTS)
+        base = CostModel()
+        assert model.compare == pytest.approx(base.compare)
+        assert model.read_record == pytest.approx(
+            base.read_record * self.CONSTANTS["read"]
+        )
+        assert model.emit_pair == 0.0
+        assert model.shuffle_record == 0.0
+        assert model.sort_item == pytest.approx(
+            base.sort_item * self.CONSTANTS["sort"]
+        )
+        # Bookkeeping costs scale by the untagged remainder's constant.
+        assert model.hint_setup == pytest.approx(
+            base.hint_setup * self.CONSTANTS["other"]
+        )
+        assert model.schedule_block == pytest.approx(
+            base.schedule_block * self.CONSTANTS["other"]
+        )
+        assert model.stat_record == pytest.approx(
+            base.stat_record * self.CONSTANTS["other"]
+        )
+
+    def test_report_dict_and_fit_round_trip(self):
+        """report dict, fitted-constants mapping and CalibrationFit agree."""
+        samples = [
+            _sample(1e-3 * c + 1e-5 * r, compare=c, read=r)
+            for c, r in ((10.0, 3.0), (20.0, 1.0), (40.0, 7.0))
+        ]
+        fit = fit_cost_model(samples)
+        report = calibration_report(fit, workers=1, backend="serial")
+        from_fit = CostModel.from_calibration(fit)
+        from_report = CostModel.from_calibration(report)
+        from_constants = CostModel.from_calibration(report["fitted_constants"])
+        assert from_fit == from_report == from_constants
+
+    def test_calibrated_model_runs_the_pipeline(self):
+        """The preset slots into RunSpec and produces a deterministic run."""
+        model = CostModel.from_calibration(self.CONSTANTS)
+        dataset = make_citeseer(120, seed=7)
+        spec = RunSpec(
+            dataset, citeseer_config(), machines=2, cost_model=model
+        )
+        run_a = ExperimentRun(spec).run()
+        run_b = ExperimentRun(spec).run()
+        assert run_a.total_time == run_b.total_time
+        assert run_a.found_pairs == run_b.found_pairs
+        # Cheaper bookkeeping than the stock model -> strictly less time.
+        stock = ExperimentRun(
+            RunSpec(dataset, citeseer_config(), machines=2)
+        ).run()
+        assert run_a.total_time < stock.total_time
+        assert run_a.found_pairs == stock.found_pairs
+
+    def test_rejects_fit_without_compare_price(self):
+        class Fit:
+            seconds_per_unit = {"compare": 0.0, "read": 1.0}
+
+        with pytest.raises(ValueError, match="compare price"):
+            CostModel.from_calibration(Fit())
+
+    def test_rejects_unknown_payload(self):
+        with pytest.raises(TypeError, match="from_calibration"):
+            CostModel.from_calibration(42)

@@ -1,0 +1,257 @@
+"""Property-based tests: meta-blocking invariants over random datasets.
+
+The pre-pass is a pure function of the dataset and scheme, so its
+contracts are checked directly on synthetic workloads:
+
+* block filtering only ever *removes* candidate pairs — the pruned
+  level-1 pair universe is a subset of the unpruned one, at every ratio;
+* both schemes are deterministic and insensitive to the order entities
+  are presented in (the property that makes serial and process backends
+  agree bit-for-bit);
+* ``pair_weight`` is symmetric in its arguments, ``cbs`` counts whole
+  blocks, ``js`` stays within [0, 1];
+* the ``wnp`` veto is symmetric, keeps ties (weight exactly at the
+  threshold), matches its own definition pair by pair, and survives a
+  pickle round-trip unchanged — so a pruner shipped to a worker process
+  decides every pair exactly as the driver would.
+
+Seeds are pinned (``@seed``) so CI failures replay locally; the profile
+machinery in ``conftest.py`` additionally derandomizes under
+``HYPOTHESIS_PROFILE=ci``.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import random
+
+from hypothesis import given, seed
+from hypothesis import strategies as st
+
+from repro.blocking.functions import BlockingScheme, prefix_function
+from repro.core.metablock import (
+    WnpPruner,
+    block_filter,
+    build_metablock_plan,
+    candidate_pairs,
+    level1_blocks,
+    level1_signatures,
+    pair_weight,
+)
+from repro.data.entity import Entity, pair_key
+
+#: A three-family toy scheme over single-letter keys; tiny alphabets make
+#: block collisions (the interesting case) the norm rather than the
+#: exception.
+SCHEME = BlockingScheme(
+    families={
+        "X": [prefix_function("X", 1, "x", 1)],
+        "Y": [prefix_function("Y", 1, "y", 1)],
+        "Z": [prefix_function("Z", 1, "z", 1)],
+    }
+)
+
+_letters = st.sampled_from(["a", "b", "c"])
+_maybe_letter = st.one_of(st.none(), _letters)
+
+
+@st.composite
+def entity_sets(draw, min_size=2, max_size=24):
+    """Random entities with 0-3 single-letter keys over {a, b, c}."""
+    rows = draw(
+        st.lists(
+            st.tuples(_maybe_letter, _maybe_letter, _maybe_letter),
+            min_size=min_size,
+            max_size=max_size,
+        )
+    )
+    entities = []
+    for eid, (x, y, z) in enumerate(rows):
+        attrs = {}
+        if x is not None:
+            attrs["x"] = x
+        if y is not None:
+            attrs["y"] = y
+        if z is not None:
+            attrs["z"] = z
+        entities.append(Entity(eid, attrs))
+    return entities
+
+
+@st.composite
+def signatures(draw):
+    """A random level-1 signature (family -> key)."""
+    sig = {}
+    for family in SCHEME.family_order:
+        key = draw(_maybe_letter)
+        if key is not None:
+            sig[family] = key
+    return sig
+
+
+# ---------------------------------------------------------------------------
+# block filtering
+# ---------------------------------------------------------------------------
+
+
+@seed(20260809)
+@given(entities=entity_sets(), ratio=st.floats(min_value=0.1, max_value=1.0))
+def test_bf_pruned_pair_universe_is_a_subset(entities, ratio):
+    sigs = level1_signatures(entities, SCHEME)
+    pruned = block_filter(sigs, SCHEME, ratio)
+    unfiltered = candidate_pairs(entities, SCHEME)
+    filtered = candidate_pairs(entities, SCHEME, pruned=pruned)
+    assert filtered <= unfiltered
+
+
+@seed(20260809)
+@given(entities=entity_sets(), ratio=st.floats(min_value=0.1, max_value=1.0))
+def test_bf_keeps_exactly_ceil_ratio_k_blocks(entities, ratio):
+    sigs = level1_signatures(entities, SCHEME)
+    pruned = block_filter(sigs, SCHEME, ratio)
+    for eid, sig in sigs.items():
+        dropped = sum(1 for (pid, _) in pruned if pid == eid)
+        assert len(sig) - dropped == (
+            math.ceil(ratio * len(sig)) if sig else 0
+        ), f"entity {eid} kept the wrong number of blocks"
+
+
+@seed(20260809)
+@given(
+    entities=entity_sets(),
+    ratio=st.floats(min_value=0.1, max_value=1.0),
+    shuffle_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_bf_is_order_insensitive(entities, ratio, shuffle_seed):
+    shuffled = entities[:]
+    random.Random(shuffle_seed).shuffle(shuffled)
+    original = block_filter(level1_signatures(entities, SCHEME), SCHEME, ratio)
+    reordered = block_filter(level1_signatures(shuffled, SCHEME), SCHEME, ratio)
+    assert original == reordered
+
+
+@seed(20260809)
+@given(entities=entity_sets())
+def test_bf_ratio_one_is_a_no_op(entities):
+    sigs = level1_signatures(entities, SCHEME)
+    assert block_filter(sigs, SCHEME, 1.0) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# pair weights
+# ---------------------------------------------------------------------------
+
+
+@seed(20260809)
+@given(sig_a=signatures(), sig_b=signatures())
+def test_pair_weight_is_symmetric(sig_a, sig_b):
+    for weighting in ("cbs", "js"):
+        assert pair_weight(sig_a, sig_b, weighting) == pair_weight(
+            sig_b, sig_a, weighting
+        )
+
+
+@seed(20260809)
+@given(sig_a=signatures(), sig_b=signatures())
+def test_pair_weight_ranges(sig_a, sig_b):
+    cbs = pair_weight(sig_a, sig_b, "cbs")
+    assert cbs == int(cbs)
+    assert 0 <= cbs <= min(len(sig_a), len(sig_b), SCHEME.num_families)
+    js = pair_weight(sig_a, sig_b, "js")
+    assert 0.0 <= js <= 1.0
+    # The two weightings agree on which pairs share no block at all.
+    assert (cbs == 0) == (js == 0.0 or not sig_a or not sig_b)
+
+
+# ---------------------------------------------------------------------------
+# weighted node pruning
+# ---------------------------------------------------------------------------
+
+
+@seed(20260809)
+@given(entities=entity_sets(), weighting=st.sampled_from(["cbs", "js"]))
+def test_wnp_veto_is_symmetric(entities, weighting):
+    plan = build_metablock_plan(entities, SCHEME, "wnp", weighting=weighting)
+    for a in entities:
+        for b in entities:
+            if a.id < b.id:
+                assert plan.pruner.keep(a, b) == plan.pruner.keep(b, a)
+
+
+@seed(20260809)
+@given(entities=entity_sets(), weighting=st.sampled_from(["cbs", "js"]))
+def test_wnp_keeps_ties_and_matches_its_definition(entities, weighting):
+    plan = build_metablock_plan(entities, SCHEME, "wnp", weighting=weighting)
+    pruner = plan.pruner
+    by_id = {e.id: e for e in entities}
+    sigs = pruner.signatures
+    for a_id, b_id in candidate_pairs(entities, SCHEME):
+        a, b = by_id[a_id], by_id[b_id]
+        th_a = pruner.thresholds.get(a_id)
+        th_b = pruner.thresholds.get(b_id)
+        if th_a is None or th_b is None:
+            assert pruner.keep(a, b), "an unweighed endpoint imposes no bound"
+            continue
+        weight = pair_weight(sigs[a_id], sigs[b_id], weighting)
+        assert pruner.keep(a, b) == (weight >= min(th_a, th_b))
+        if weight == min(th_a, th_b):
+            assert pruner.keep(a, b), "ties must be kept"
+
+
+@seed(20260809)
+@given(entities=entity_sets(), weighting=st.sampled_from(["cbs", "js"]))
+def test_wnp_plan_counts_match_the_pair_oracle(entities, weighting):
+    plan = build_metablock_plan(entities, SCHEME, "wnp", weighting=weighting)
+    universe = candidate_pairs(entities, SCHEME)
+    surviving = candidate_pairs(entities, SCHEME, pruner=plan.pruner)
+    assert plan.pairs_total == len(universe)
+    assert plan.pairs_kept == len(surviving)
+    assert surviving <= universe
+
+
+@seed(20260809)
+@given(
+    entities=entity_sets(),
+    weighting=st.sampled_from(["cbs", "js"]),
+    shuffle_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_wnp_is_order_insensitive(entities, weighting, shuffle_seed):
+    shuffled = entities[:]
+    random.Random(shuffle_seed).shuffle(shuffled)
+    plan_a = build_metablock_plan(entities, SCHEME, "wnp", weighting=weighting)
+    plan_b = build_metablock_plan(shuffled, SCHEME, "wnp", weighting=weighting)
+    assert plan_a.pruner.thresholds == plan_b.pruner.thresholds
+    assert plan_a.pairs_kept == plan_b.pairs_kept
+    assert plan_a.keep_ratios == plan_b.keep_ratios
+
+
+@seed(20260809)
+@given(entities=entity_sets(), weighting=st.sampled_from(["cbs", "js"]))
+def test_wnp_pruner_survives_pickling(entities, weighting):
+    """A pruner shipped to a worker process decides pairs identically."""
+    plan = build_metablock_plan(entities, SCHEME, "wnp", weighting=weighting)
+    clone = pickle.loads(pickle.dumps(plan.pruner))
+    for a in entities:
+        for b in entities:
+            if a.id < b.id:
+                assert clone.keep(a, b) == plan.pruner.keep(a, b)
+
+
+# ---------------------------------------------------------------------------
+# the level-1 pair universe itself
+# ---------------------------------------------------------------------------
+
+
+@seed(20260809)
+@given(entities=entity_sets())
+def test_candidate_pairs_come_from_shared_blocks(entities):
+    sigs = level1_signatures(entities, SCHEME)
+    pairs = candidate_pairs(entities, SCHEME)
+    for a_id, b_id in pairs:
+        assert pair_weight(sigs[a_id], sigs[b_id], "cbs") >= 1
+    # And completeness: every co-blocked pair is in the universe.
+    for members in level1_blocks(sigs, SCHEME.family_order).values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                assert pair_key(members[i], members[j]) in pairs
